@@ -1,0 +1,417 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table/figure in the paper's evaluation, plus the ablations DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printed-table equivalents (closer to the paper's figures) live in
+// cmd/sfi-bench and cmd/ckpt-bench; both are wrappers over
+// internal/experiments, as are these benchmarks.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dpdk"
+	"repro/internal/experiments"
+	"repro/internal/firewall"
+	"repro/internal/ifc"
+	"repro/internal/linear"
+	"repro/internal/maglev"
+	"repro/internal/minirust"
+	"repro/internal/netbricks"
+	"repro/internal/packet"
+	"repro/internal/sfi"
+)
+
+// --- Figure 2: remote-invocation overhead vs. batch size ---------------
+
+// benchPipeline measures cycles/batch through a 5-stage null-filter
+// pipeline, direct or isolated, at one batch size.
+func benchPipeline(b *testing.B, batchSize int, isolated bool) {
+	b.Helper()
+	port := dpdk.NewPort(dpdk.Config{PoolSize: batchSize + 64})
+	pkts := make([]*packet.Packet, batchSize)
+	n := port.RxBurst(pkts)
+	batch := &netbricks.Batch{Pkts: pkts[:n]}
+	ops := []netbricks.Operator{
+		netbricks.NullFilter{}, netbricks.NullFilter{}, netbricks.NullFilter{},
+		netbricks.NullFilter{}, netbricks.NullFilter{},
+	}
+	ctx := sfi.NewContext()
+	var direct *netbricks.Pipeline
+	var iso *netbricks.IsolatedPipeline
+	if isolated {
+		var err error
+		iso, err = netbricks.NewIsolatedPipeline(sfi.NewManager(), ops, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		direct = netbricks.NewPipeline(ops...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owned := linear.New(batch)
+		var out linear.Owned[*netbricks.Batch]
+		var err error
+		if isolated {
+			out, err = iso.Process(ctx, owned)
+		} else {
+			out, err = direct.Process(owned)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := out.Into(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Direct is the unprotected baseline at every paper batch
+// size (function calls between stages).
+func BenchmarkFigure2Direct(b *testing.B) {
+	for _, bs := range experiments.PaperBatchSizes {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			benchPipeline(b, bs, false)
+		})
+	}
+}
+
+// BenchmarkFigure2Isolated is the same pipeline with one protection
+// domain per stage (remote invocations). (Isolated − Direct)/5 is the
+// per-invocation overhead Figure 2 plots.
+func BenchmarkFigure2Isolated(b *testing.B) {
+	for _, bs := range experiments.PaperBatchSizes {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			benchPipeline(b, bs, true)
+		})
+	}
+}
+
+// BenchmarkFigure2Maglev is the Maglev reference line of Figure 2: the
+// per-batch cost of a realistic, lightweight NF.
+func BenchmarkFigure2Maglev(b *testing.B) {
+	for _, bs := range experiments.PaperBatchSizes {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			port := dpdk.NewPort(dpdk.Config{
+				PoolSize: bs + 64,
+				Gen:      &dpdk.UniformFlows{Base: dpdk.DefaultSpec(), Flows: 1024},
+			})
+			pkts := make([]*packet.Packet, bs)
+			n := port.RxBurst(pkts)
+			batch := &netbricks.Batch{Pkts: pkts[:n]}
+			backends := make([]maglev.Backend, 16)
+			for i := range backends {
+				backends[i] = maglev.Backend{Name: fmt.Sprintf("be-%d", i), IP: packet.Addr(10, 1, 0, byte(i+1))}
+			}
+			lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			op := maglev.Operator{LB: lb}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op.ProcessBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §3 scalar: recovery cost ------------------------------------------
+
+// BenchmarkRecovery measures catching an injected panic, clearing the
+// failed domain's reference table, and re-creating the domain from clean
+// state (paper: 4389 cycles).
+func BenchmarkRecovery(b *testing.B) {
+	mgr := sfi.NewManager()
+	d := mgr.NewDomain("null-filter")
+	rref, err := sfi.Export[netbricks.Operator](d, netbricks.NullFilter{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot := rref.Slot()
+	d.SetRecovery(func(d *sfi.Domain) error {
+		return sfi.ExportAt[netbricks.Operator](d, slot, netbricks.NullFilter{})
+	})
+	ctx := sfi.NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rref.Call(ctx, "p", func(netbricks.Operator) error { panic("injected") }); err == nil {
+			b.Fatal("panic not caught")
+		}
+		if err := mgr.Recover(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §4: verification cost ----------------------------------------------
+
+// BenchmarkIFCVerifyPaperListing measures the full static pipeline
+// (parse → types → borrowck → abstract interpretation) on the paper's
+// Buffer listing.
+func BenchmarkIFCVerifyPaperListing(b *testing.B) {
+	src := minirust.PaperBufferProgram(true, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := minirust.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		checked, err := minirust.Check(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := minirust.BorrowCheck(checked); err != nil {
+			b.Fatal(err)
+		}
+		lat, err := ifc.ForProgram(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ifc.Analyze(checked, lat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OK() {
+			b.Fatal("leak not found")
+		}
+	}
+}
+
+// --- Figure 3: checkpointing --------------------------------------------
+
+// BenchmarkFigure3Checkpoint measures checkpointing a 1000-rule firewall
+// database (sharing factor 3) under each aliasing mode.
+func BenchmarkFigure3Checkpoint(b *testing.B) {
+	for _, mode := range []checkpoint.Mode{checkpoint.RcAware, checkpoint.Naive, checkpoint.VisitedSet} {
+		b.Run(mode.String(), func(b *testing.B) {
+			db, err := experiments.BuildFirewallDB(1000, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := checkpoint.NewEngine(mode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Checkpoint(eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3Restore measures restoring the database from a
+// snapshot.
+func BenchmarkFigure3Restore(b *testing.B) {
+	db, err := experiments.BuildFirewallDB(1000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := db.Checkpoint(checkpoint.NewEngine(checkpoint.RcAware))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out *firewall.DB
+		if err := snap.Restore(&out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkAblationRRefCall isolates the cost of one remote invocation
+// (weak upgrade + policy + context switch + fault guard) against a plain
+// interface call on the same operator.
+func BenchmarkAblationRRefCall(b *testing.B) {
+	mgr := sfi.NewManager()
+	d := mgr.NewDomain("svc")
+	rref, err := sfi.Export[netbricks.Operator](d, netbricks.NullFilter{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := sfi.NewContext()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := rref.Call(ctx, "p", func(netbricks.Operator) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDirectCall is the function-call baseline for
+// BenchmarkAblationRRefCall.
+func BenchmarkAblationDirectCall(b *testing.B) {
+	var op netbricks.Operator = netbricks.NullFilter{}
+	batch := &netbricks.Batch{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := op.ProcessBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCopySFI is the traditional copy-based SFI boundary the
+// paper contrasts against: the batch's packet payloads are deep-copied on
+// every crossing. Cost scales with bytes moved, unlike CallMove.
+func BenchmarkAblationCopySFI(b *testing.B) {
+	for _, bs := range []int{1, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			port := dpdk.NewPort(dpdk.Config{PoolSize: bs + 64})
+			pkts := make([]*packet.Packet, bs)
+			n := port.RxBurst(pkts)
+			batch := &netbricks.Batch{Pkts: pkts[:n]}
+			boundary := sfi.CopyBoundary[*netbricks.Batch]{Copy: deepCopyBatch}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := boundary.Cross(batch, func(in *netbricks.Batch) (*netbricks.Batch, error) {
+					return in, nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMoveSFI is the zero-copy CallMove crossing at the same
+// batch sizes, for direct comparison with BenchmarkAblationCopySFI.
+func BenchmarkAblationMoveSFI(b *testing.B) {
+	for _, bs := range []int{1, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			port := dpdk.NewPort(dpdk.Config{PoolSize: bs + 64})
+			pkts := make([]*packet.Packet, bs)
+			n := port.RxBurst(pkts)
+			batch := &netbricks.Batch{Pkts: pkts[:n]}
+			mgr := sfi.NewManager()
+			d := mgr.NewDomain("stage")
+			rref, err := sfi.Export[netbricks.Operator](d, netbricks.NullFilter{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := sfi.NewContext()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				owned := linear.New(batch)
+				out, err := sfi.CallMove(ctx, rref, "p", owned,
+					func(op netbricks.Operator, a linear.Owned[*netbricks.Batch]) (linear.Owned[*netbricks.Batch], error) {
+						return a, nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := out.Into(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTaggedHeap is the shared-heap-with-ownership-tags
+// architecture (Mao et al. [27]): every packet access pays a tag
+// validation. The paper cites >100% overhead for this design.
+func BenchmarkAblationTaggedHeap(b *testing.B) {
+	for _, bs := range []int{1, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			heap := sfi.NewTaggedHeap[packet.Packet]()
+			const owner sfi.DomainID = 1
+			handles := make([]sfi.Handle, bs)
+			for i := range handles {
+				handles[i] = heap.Alloc(owner, packet.Packet{Data: make([]byte, 64)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, h := range handles {
+					if err := heap.Access(owner, h, func(p *packet.Packet) {
+						p.UserTag++
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUntaggedAccess is the baseline for the tagged heap:
+// the same per-packet work without tag validation.
+func BenchmarkAblationUntaggedAccess(b *testing.B) {
+	for _, bs := range []int{1, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			pkts := make([]*packet.Packet, bs)
+			for i := range pkts {
+				pkts[i] = &packet.Packet{Data: make([]byte, 64)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range pkts {
+					p.UserTag++
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVisitedSet compares the three checkpoint traversal
+// strategies on a structure that is ALL unique pointers (no sharing):
+// the visited-set approach pays its table probes even when there is
+// nothing to deduplicate — the paper's "obvious downside".
+func BenchmarkAblationVisitedSet(b *testing.B) {
+	type node struct {
+		Val  int
+		Next *node
+	}
+	build := func(n int) *node {
+		var head *node
+		for i := 0; i < n; i++ {
+			head = &node{Val: i, Next: head}
+		}
+		return head
+	}
+	list := build(1000)
+	for _, mode := range []checkpoint.Mode{checkpoint.RcAware, checkpoint.VisitedSet} {
+		b.Run(mode.String(), func(b *testing.B) {
+			eng := checkpoint.NewEngine(mode)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Checkpoint(list); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// deepCopyBatch clones a batch and all packet payloads (the copy-based
+// SFI crossing).
+func deepCopyBatch(in *netbricks.Batch) *netbricks.Batch {
+	out := &netbricks.Batch{Pkts: make([]*packet.Packet, len(in.Pkts))}
+	for i, p := range in.Pkts {
+		cp := *p
+		cp.Data = append([]byte(nil), p.Data...)
+		out.Pkts[i] = &cp
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Command ckpt-bench regenerates the §5 checkpointing experiment
+// (Figure 3): a firewall rule database whose trie leaves share rules is
+// checkpointed under the paper's Rc-aware engine, the naive engine that
+// duplicates shared rules (Figure 3b), and the conventional-language
+// visited-set workaround, reporting copy counts and cycle costs.
+//
+// Usage:
+//
+//	ckpt-bench                     # paper-scale defaults
+//	ckpt-bench -rules 5000 -share 4 -iters 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ckpt-bench: ")
+	var (
+		rules = flag.Int("rules", 1000, "distinct firewall rules")
+		share = flag.Int("share", 3, "trie leaves per rule (sharing factor, Figure 3a)")
+		iters = flag.Int("iters", 25, "measurement iterations per mode")
+	)
+	flag.Parse()
+	if *rules <= 0 || *share <= 0 {
+		log.Fatal("rules and share must be positive")
+	}
+	rows, err := experiments.Figure3(*rules, *share, *iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintFigure3(os.Stdout, rows)
+	fmt.Println("(paper: Rc-aware checkpoint copies each shared rule exactly once;")
+	fmt.Println(" naive traversal produces duplicate copies; conventional languages")
+	fmt.Println(" pay a visited-set probe per pointer to avoid them)")
+}

@@ -1,0 +1,142 @@
+// Rollback-middlebox: the §5 "applications" layer in action. A stateful
+// monitoring NF (per-flow packet counter) runs inside a protection
+// domain; its state graph is checkpointed automatically every few
+// batches. When a fault is injected, §3 recovery restores the last
+// snapshot instead of clean state — rollback-recovery for middleboxes
+// (Sherry et al.) with bounded state loss. The same snapshots feed a
+// standby replica via the txn layer.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dpdk"
+	"repro/internal/netbricks"
+	"repro/internal/packet"
+	"repro/internal/rollback"
+	"repro/internal/sfi"
+	"repro/internal/txn"
+)
+
+// monitor counts packets per flow; Total is shared through Rc so restores
+// must preserve aliasing.
+type monitor struct {
+	Counts  map[packet.FiveTuple]int
+	Total   checkpoint.Rc[int]
+	panicOn int
+	seen    int
+}
+
+type monitorState struct {
+	Counts map[packet.FiveTuple]int
+	Total  checkpoint.Rc[int]
+}
+
+func newMonitor() *monitor {
+	return &monitor{Counts: make(map[packet.FiveTuple]int), Total: checkpoint.NewRc(0)}
+}
+
+func (m *monitor) Name() string { return "monitor" }
+
+func (m *monitor) ProcessBatch(b *netbricks.Batch) error {
+	m.seen++
+	if m.panicOn != 0 && m.seen == m.panicOn {
+		panic("injected monitor fault")
+	}
+	for _, p := range b.Pkts {
+		if !p.Parsed() {
+			if err := p.Parse(); err != nil {
+				continue
+			}
+		}
+		m.Counts[p.Tuple()]++
+		m.Total.Set(m.Total.Get() + 1)
+	}
+	return nil
+}
+
+func (m *monitor) ExportState() any {
+	return &monitorState{Counts: m.Counts, Total: m.Total}
+}
+
+func (m *monitor) ImportState(state any) error {
+	st, ok := state.(*monitorState)
+	if !ok {
+		return fmt.Errorf("bad state %T", state)
+	}
+	m.Counts, m.Total = st.Counts, st.Total
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// The first operator instance crashes on its 6th batch; replacements
+	// are healthy.
+	first := true
+	factory := func() rollback.StatefulOperator {
+		m := newMonitor()
+		if first {
+			m.panicOn = 6
+			first = false
+		}
+		return m
+	}
+	guard, err := rollback.NewGuard(factory, 3) // checkpoint every 3 batches
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := sfi.NewManager()
+	stage, err := rollback.NewGuardedStage(mgr, "monitor", guard)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: 64,
+		Gen:      &dpdk.UniformFlows{Base: dpdk.DefaultSpec(), Flows: 6},
+	})
+	ctx := sfi.NewContext()
+	pkts := make([]*packet.Packet, 4)
+	for i := 1; i <= 12; i++ {
+		n := port.RxBurst(pkts)
+		batch := &netbricks.Batch{Pkts: pkts[:n]}
+		err := stage.RRef.Call(ctx, "process", func(op netbricks.Operator) error {
+			return op.ProcessBatch(batch)
+		})
+		if err != nil {
+			if !errors.Is(err, sfi.ErrDomainFailed) {
+				log.Fatal(err)
+			}
+			fmt.Printf("batch %2d: FAULT contained in domain %q; rolling back to last checkpoint\n",
+				i, stage.Domain.Name())
+			if err := mgr.Recover(stage.Domain); err != nil {
+				log.Fatal(err)
+			}
+		}
+		port.Free(pkts[:n])
+	}
+	processed, ckpts, restores := guard.Stats()
+	fmt.Printf("\nguard: %d batches counted, %d checkpoints, %d rollback-restores\n",
+		processed, ckpts, restores)
+	fmt.Println("state loss was bounded by the checkpoint interval (3 batches),")
+	fmt.Println("not a clean-slate reset — the §5 automation applied to §3 recovery.")
+
+	// Replication on the same machinery: ship the NF state to a standby.
+	store, err := txn.NewStore(guard.State(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	standby := txn.NewReplica[any]()
+	if err := standby.SyncFrom(store); err != nil {
+		log.Fatal(err)
+	}
+	standby.View(func(s any) {
+		st := s.(*monitorState)
+		fmt.Printf("\nstandby replica synced: %d flows, %d packets total\n",
+			len(st.Counts), st.Total.Get())
+	})
+}

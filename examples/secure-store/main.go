@@ -1,0 +1,60 @@
+// Secure-store: the paper's §4 case study end to end. The multi-client
+// secure data store is verified leak-free; then each variant with a
+// seeded access-check bug is pushed through the same pipeline and the
+// verifier discovers every one — the paper's SMACK sanity check. Finally
+// the paper's own Buffer listing is verified, showing the direct leak
+// caught by the IFC analysis and the aliasing exploit caught by the
+// borrow checker.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/minirust"
+	"repro/internal/securestore"
+	"repro/internal/verifier"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("== the secure data store (correct implementation) ==")
+	rep := securestore.VerifyVariant(securestore.Correct)
+	rep.Render(os.Stdout)
+	if !rep.OK() {
+		log.Fatal("BUG: correct store rejected")
+	}
+	res, err := verifier.Execute(rep)
+	if err != nil || res.Err != nil {
+		log.Fatalf("store run failed: %v / %v", err, res.Err)
+	}
+	fmt.Printf("public read served: %s", res.Output)
+
+	fmt.Println("\n== seeded-bug sanity check (paper §4) ==")
+	for _, v := range securestore.Variants {
+		if !v.Buggy() {
+			continue
+		}
+		rep := securestore.VerifyVariant(v)
+		if rep.OK() {
+			log.Fatalf("BUG: seeded bug %s not discovered", v)
+		}
+		fmt.Printf("%-20s discovered: %d violation(s), e.g. %s\n",
+			v, len(rep.Violations), rep.Violations[0])
+	}
+
+	fmt.Println("\n== the paper's Buffer listing ==")
+	fmt.Println("line 16 (direct leak):")
+	rep16 := verifier.Verify(minirust.PaperBufferProgram(true, false))
+	rep16.Render(os.Stdout)
+	fmt.Println("line 17 (aliasing exploit):")
+	rep17 := verifier.Verify(minirust.PaperBufferProgram(false, true))
+	rep17.Render(os.Stdout)
+	if rep17.Stage != verifier.StageBorrowCheck {
+		log.Fatal("BUG: exploit should die in the borrow checker")
+	}
+	fmt.Println("\nthe exploit never reaches the IFC analysis: single ownership")
+	fmt.Println("rejects it at compile time, exactly as the paper argues.")
+}

@@ -1,0 +1,522 @@
+// Package checkpoint implements the paper's §5 contribution: automatic
+// checkpointing of arbitrary pointer-linked data structures.
+//
+// The paper's library is a Rust trait, Checkpointable, whose
+// implementation a compiler plugin derives inductively for any type built
+// from scalars and references to checkpointable types, plus a hand-written
+// implementation for Rc that sets an internal flag on first visit so a
+// shared object is copied exactly once per checkpoint.
+//
+// Go has no compiler plugins, so this package derives the same behaviour
+// with reflection over a type's exported structure — the moral equivalent
+// of the plugin's induction over type components. The key insight carries
+// over unchanged:
+//
+//   - plain pointers are treated as unique owners and traversed without a
+//     visited set (the linear regime this repository enforces dynamically
+//     via internal/linear makes that sound); and
+//   - aliasing is explicit in the type: only checkpoint.Rc values can be
+//     shared, and the Rc box itself carries the per-epoch "already
+//     checkpointed" state, so sharing is preserved with O(1) work per
+//     alias and no global address table.
+//
+// Three engine modes exist so that Figure 3 and its ablation can be
+// regenerated:
+//
+//   - RcAware   — the paper's design (flag inside Rc);
+//   - Naive     — pretends Rc is a unique pointer, producing the duplicate
+//     copies of Figure 3b;
+//   - VisitedSet — the conventional-language workaround: record every
+//     address reached and check each new object against the set, paying
+//     lookup cost on every pointer, aliased or not.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects how the engine handles aliasing during traversal.
+type Mode int
+
+const (
+	// RcAware preserves sharing using the per-epoch flag inside Rc.
+	RcAware Mode = iota
+	// Naive traverses through Rc as if it were a unique pointer,
+	// duplicating shared objects (Figure 3b).
+	Naive
+	// VisitedSet preserves sharing with a global address table, the
+	// conventional-language technique the paper contrasts against.
+	VisitedSet
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case RcAware:
+		return "rc-aware"
+	case Naive:
+		return "naive"
+	case VisitedSet:
+		return "visited-set"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Errors reported by the engine.
+var (
+	// ErrUnsupported reports a type the derivation cannot handle
+	// (functions, channels, unsafe pointers).
+	ErrUnsupported = errors.New("checkpoint: unsupported type")
+	// ErrUnexported reports a struct with unexported fields, which the
+	// reflection-based derivation cannot traverse. Such types must
+	// implement Checkpointable themselves.
+	ErrUnexported = errors.New("checkpoint: unexported field")
+	// ErrTypeMismatch reports a Restore into an incompatible destination.
+	ErrTypeMismatch = errors.New("checkpoint: type mismatch")
+)
+
+// Checkpointable lets a type provide custom checkpoint behaviour, taking
+// the place of the derived traversal (the trait customization point).
+// Copy must return a deep copy of the receiver of the same type, using
+// clone to copy any interior state it does not own uniquely.
+type Checkpointable interface {
+	CheckpointCopy(clone func(v any) (any, error)) (any, error)
+}
+
+// epochCounter hands out one globally unique epoch per checkpoint run, so
+// Rc flags from different runs can never be confused.
+var epochCounter atomic.Uint64
+
+// Stats counts traversal work for the Figure 3 experiment.
+type Stats struct {
+	Objects   int // pointer targets deep-copied
+	RcFirst   int // Rc boxes copied (first visit this epoch)
+	RcReused  int // Rc aliases that reused an existing copy
+	SetProbes int // visited-set lookups (VisitedSet mode only)
+}
+
+// Engine performs checkpoint traversals in a fixed mode. Engines are
+// stateless between runs; each Checkpoint call gets a fresh epoch.
+// Checkpointing is safe to run concurrently with mutation of Rc values
+// (the box mutex serializes access), but two *simultaneous* checkpoints
+// over overlapping graphs race on the per-box epoch flag and may lose
+// sharing; serialize whole-graph checkpoints, as the paper's library does
+// implicitly by running checkpoint() on one thread.
+type Engine struct {
+	mode Mode
+}
+
+// NewEngine creates an engine in the given mode.
+func NewEngine(mode Mode) *Engine { return &Engine{mode: mode} }
+
+// Mode reports the engine's aliasing mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// run is the per-checkpoint traversal state.
+type run struct {
+	mode    Mode
+	epoch   uint64
+	visited map[any]reflect.Value // VisitedSet mode: pointer -> copied value
+	stats   Stats
+}
+
+// Snapshot is an immutable deep copy of a value graph, with the alias
+// structure recorded faithfully (in RcAware and VisitedSet modes). It can
+// be restored any number of times.
+type Snapshot struct {
+	val   reflect.Value
+	typ   reflect.Type
+	stats Stats
+	mode  Mode
+}
+
+// Stats reports the traversal counters of the checkpoint run.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+// Mode reports the engine mode the snapshot was taken with.
+func (s *Snapshot) Mode() Mode { return s.mode }
+
+// Checkpoint deep-copies v and returns the snapshot. The input graph is
+// not modified except for the epoch words inside Rc boxes.
+func (e *Engine) Checkpoint(v any) (*Snapshot, error) {
+	r := &run{mode: e.mode, epoch: epochCounter.Add(1)}
+	if e.mode == VisitedSet {
+		r.visited = make(map[any]reflect.Value)
+	}
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return nil, fmt.Errorf("checkpoint of nil interface: %w", ErrUnsupported)
+	}
+	cp, err := r.clone(rv)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{val: cp, typ: rv.Type(), stats: r.stats, mode: e.mode}, nil
+}
+
+// Value returns the snapshot's root as an interface value. The returned
+// graph must be treated as immutable; use Restore for a mutable copy.
+func (s *Snapshot) Value() any { return s.val.Interface() }
+
+// Restore materializes a fresh mutable copy of the snapshot into *dst.
+// dst must be a non-nil pointer whose element type matches the
+// checkpointed value. Restoring re-runs the copy in the snapshot's mode,
+// so alias structure recorded at checkpoint time is reproduced in the
+// restored graph.
+func (s *Snapshot) Restore(dst any) error {
+	dv := reflect.ValueOf(dst)
+	if dv.Kind() != reflect.Pointer || dv.IsNil() {
+		return fmt.Errorf("restore destination must be a non-nil pointer: %w", ErrTypeMismatch)
+	}
+	if dv.Elem().Type() != s.typ {
+		// Allow restoring into an interface destination that can hold
+		// the snapshot's concrete type (e.g. *any), which heterogeneous
+		// state stores rely on.
+		if !(dv.Elem().Kind() == reflect.Interface && s.typ.AssignableTo(dv.Elem().Type())) {
+			return fmt.Errorf("restore into %s, snapshot holds %s: %w", dv.Elem().Type(), s.typ, ErrTypeMismatch)
+		}
+	}
+	r := &run{mode: s.mode, epoch: epochCounter.Add(1)}
+	if s.mode == VisitedSet {
+		r.visited = make(map[any]reflect.Value)
+	}
+	cp, err := r.clone(s.val)
+	if err != nil {
+		return err
+	}
+	dv.Elem().Set(cp)
+	return nil
+}
+
+// Materialize returns a fresh mutable deep copy of the snapshot as an
+// interface value, for callers that cannot provide a typed destination
+// (e.g. code handling heterogeneous state graphs). The copy preserves the
+// snapshot's alias structure like Restore.
+func (s *Snapshot) Materialize() (any, error) {
+	r := &run{mode: s.mode, epoch: epochCounter.Add(1)}
+	if s.mode == VisitedSet {
+		r.visited = make(map[any]reflect.Value)
+	}
+	cp, err := r.clone(s.val)
+	if err != nil {
+		return nil, err
+	}
+	return cp.Interface(), nil
+}
+
+// aliased is implemented by Rc; it routes traversal through the box's
+// epoch flag (or duplicates, in Naive mode).
+type aliased interface {
+	checkpointAliased(r *run) (reflect.Value, error)
+}
+
+// clone dispatches on the dynamic structure of v.
+func (r *run) clone(v reflect.Value) (reflect.Value, error) {
+	if !v.IsValid() {
+		return v, nil
+	}
+	// Customization points first: Rc, then user-provided Checkpointable.
+	// The aliased hook is restricted to struct kind so that a *Rc[T]
+	// pointer (whose method set also includes the hook) still goes
+	// through the pointer path and keeps its type.
+	if v.CanInterface() {
+		if v.Kind() == reflect.Struct {
+			if a, ok := v.Interface().(aliased); ok {
+				return a.checkpointAliased(r)
+			}
+		}
+		if c, ok := v.Interface().(Checkpointable); ok {
+			out, err := c.CheckpointCopy(func(inner any) (any, error) {
+				cv, err := r.clone(reflect.ValueOf(inner))
+				if err != nil {
+					return nil, err
+				}
+				return cv.Interface(), nil
+			})
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			ov := reflect.ValueOf(out)
+			if ov.Type() != v.Type() {
+				return reflect.Value{}, fmt.Errorf("CheckpointCopy of %s returned %s: %w", v.Type(), ov.Type(), ErrTypeMismatch)
+			}
+			return ov, nil
+		}
+	}
+
+	switch v.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128, reflect.String:
+		return v, nil
+
+	case reflect.Pointer:
+		return r.clonePointer(v)
+
+	case reflect.Struct:
+		return r.cloneStruct(v)
+
+	case reflect.Slice:
+		if v.IsNil() {
+			return v, nil
+		}
+		out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for i := 0; i < v.Len(); i++ {
+			cv, err := r.clone(v.Index(i))
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.Index(i).Set(cv)
+		}
+		return out, nil
+
+	case reflect.Array:
+		out := reflect.New(v.Type()).Elem()
+		for i := 0; i < v.Len(); i++ {
+			cv, err := r.clone(v.Index(i))
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.Index(i).Set(cv)
+		}
+		return out, nil
+
+	case reflect.Map:
+		if v.IsNil() {
+			return v, nil
+		}
+		out := reflect.MakeMapWithSize(v.Type(), v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			kc, err := r.clone(iter.Key())
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			vc, err := r.clone(iter.Value())
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.SetMapIndex(kc, vc)
+		}
+		return out, nil
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return v, nil
+		}
+		cv, err := r.clone(v.Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		out := reflect.New(v.Type()).Elem()
+		out.Set(cv)
+		return out, nil
+
+	default:
+		return reflect.Value{}, fmt.Errorf("%s (kind %s): %w", v.Type(), v.Kind(), ErrUnsupported)
+	}
+}
+
+// clonePointer copies the pointee. In the linear regime a plain pointer is
+// a unique owner, so no visited set is consulted (RcAware/Naive); the
+// VisitedSet mode models the conventional language that cannot assume
+// uniqueness and must probe the table for every pointer.
+func (r *run) clonePointer(v reflect.Value) (reflect.Value, error) {
+	if v.IsNil() {
+		return v, nil
+	}
+	if r.mode == VisitedSet {
+		key := v.Interface() // pointers are comparable map keys
+		r.stats.SetProbes++
+		if prev, ok := r.visited[key]; ok {
+			return prev, nil
+		}
+		out := reflect.New(v.Type().Elem())
+		r.visited[key] = out // record before recursing: handles cycles
+		cv, err := r.clone(v.Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		out.Elem().Set(cv)
+		r.stats.Objects++
+		return out, nil
+	}
+	cv, err := r.clone(v.Elem())
+	if err != nil {
+		return reflect.Value{}, err
+	}
+	out := reflect.New(v.Type().Elem())
+	out.Elem().Set(cv)
+	r.stats.Objects++
+	return out, nil
+}
+
+func (r *run) cloneStruct(v reflect.Value) (reflect.Value, error) {
+	t := v.Type()
+	out := reflect.New(t).Elem()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			return reflect.Value{}, fmt.Errorf("%s.%s: %w (implement Checkpointable for this type)", t, f.Name, ErrUnexported)
+		}
+		cv, err := r.clone(v.Field(i))
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		out.Field(i).Set(cv)
+	}
+	return out, nil
+}
+
+// rcBox is the shared allocation behind checkpoint.Rc handles. It carries
+// the paper's "internal flag": the epoch of the last checkpoint that
+// visited it and the copy made by that visit.
+type rcBox[T any] struct {
+	mu     sync.Mutex
+	val    T
+	strong int64
+
+	ckptEpoch uint64
+	ckptCopy  *rcBox[T]
+}
+
+// Rc is a reference-counted shared value with built-in checkpoint
+// support — the analogue of the paper's custom Checkpointable impl for
+// Rust's Rc. Aliasing a value in a checkpointable structure is only
+// possible through Rc, which is what makes derivation sound without alias
+// analysis.
+type Rc[T any] struct {
+	box *rcBox[T]
+}
+
+// NewRc allocates a shared value.
+func NewRc[T any](v T) Rc[T] {
+	return Rc[T]{box: &rcBox[T]{val: v, strong: 1}}
+}
+
+// Clone creates another handle to the same shared value.
+func (r Rc[T]) Clone() Rc[T] {
+	if r.box == nil {
+		panic("checkpoint: Clone of zero Rc")
+	}
+	r.box.mu.Lock()
+	r.box.strong++
+	r.box.mu.Unlock()
+	return r
+}
+
+// Get returns the shared value.
+func (r Rc[T]) Get() T {
+	if r.box == nil {
+		panic("checkpoint: Get on zero Rc")
+	}
+	r.box.mu.Lock()
+	defer r.box.mu.Unlock()
+	return r.box.val
+}
+
+// Set replaces the shared value (visible through every alias — this is
+// exactly the behaviour that defeats naive traversal and security-type
+// systems, and that the epoch flag handles for free).
+func (r Rc[T]) Set(v T) {
+	if r.box == nil {
+		panic("checkpoint: Set on zero Rc")
+	}
+	r.box.mu.Lock()
+	r.box.val = v
+	r.box.mu.Unlock()
+}
+
+// StrongCount reports the number of handles.
+func (r Rc[T]) StrongCount() int64 {
+	if r.box == nil {
+		return 0
+	}
+	r.box.mu.Lock()
+	defer r.box.mu.Unlock()
+	return r.box.strong
+}
+
+// SameBox reports whether two handles alias the same allocation — the
+// sharing-structure probe the Figure 3 assertions use.
+func (r Rc[T]) SameBox(o Rc[T]) bool { return r.box == o.box }
+
+// IsZero reports whether the handle is the zero Rc.
+func (r Rc[T]) IsZero() bool { return r.box == nil }
+
+// checkpointAliased implements the aliased hook. RcAware: first visit in
+// an epoch copies the value and parks the copy in the box; subsequent
+// visits hand out handles to the same copy. Naive: every visit copies.
+// VisitedSet: the box pointer goes through the run's address table.
+func (r Rc[T]) checkpointAliased(run *run) (reflect.Value, error) {
+	if r.box == nil {
+		return reflect.ValueOf(r), nil
+	}
+	switch run.mode {
+	case Naive:
+		r.box.mu.Lock()
+		val := r.box.val
+		r.box.mu.Unlock()
+		cv, err := run.clone(reflect.ValueOf(&val).Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		run.stats.RcFirst++
+		return reflect.ValueOf(NewRc(cv.Interface().(T))), nil
+
+	case VisitedSet:
+		run.stats.SetProbes++
+		if prev, ok := run.visited[r.box]; ok {
+			run.stats.RcReused++
+			return prev, nil
+		}
+		r.box.mu.Lock()
+		val := r.box.val
+		r.box.mu.Unlock()
+		nb := &rcBox[T]{strong: 1}
+		out := reflect.ValueOf(Rc[T]{box: nb})
+		run.visited[r.box] = out // pre-register: cycles through Rc
+		cv, err := run.clone(reflect.ValueOf(&val).Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		nb.val = cv.Interface().(T)
+		run.stats.RcFirst++
+		return out, nil
+
+	default: // RcAware
+		r.box.mu.Lock()
+		if r.box.ckptEpoch == run.epoch && r.box.ckptCopy != nil {
+			cp := r.box.ckptCopy
+			cp.mu.Lock()
+			cp.strong++
+			cp.mu.Unlock()
+			r.box.mu.Unlock()
+			run.stats.RcReused++
+			return reflect.ValueOf(Rc[T]{box: cp}), nil
+		}
+		// First visit this epoch: set the flag *before* copying so a
+		// cycle through this box reuses the (in-progress) copy.
+		nb := &rcBox[T]{strong: 1}
+		r.box.ckptEpoch = run.epoch
+		r.box.ckptCopy = nb
+		val := r.box.val
+		r.box.mu.Unlock()
+		cv, err := run.clone(reflect.ValueOf(&val).Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		nb.mu.Lock()
+		nb.val = cv.Interface().(T)
+		nb.mu.Unlock()
+		run.stats.RcFirst++
+		return reflect.ValueOf(Rc[T]{box: nb}), nil
+	}
+}
+
+var _ aliased = Rc[int]{}

@@ -1,0 +1,186 @@
+// Package cycles provides CPU-cycle accounting for benchmarks.
+//
+// The paper reports all isolation costs in CPU cycles on an Intel Xeon
+// E5530 clocked at 2.40 GHz. Portable Go cannot read the TSC directly, so
+// this package measures wall-clock time with the monotonic clock and
+// converts to cycles at a nominal frequency. The default frequency matches
+// the paper's machine so that reported numbers are directly comparable in
+// shape; override it with SetFrequency for a different nominal clock.
+package cycles
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// PaperGHz is the clock frequency of the evaluation machine used in the
+// paper (Intel Xeon E5530, 2.40 GHz).
+const PaperGHz = 2.40
+
+// frequencyMilliHz stores the nominal frequency in units of 1000 Hz so it
+// can be swapped atomically. The default corresponds to PaperGHz.
+var frequencyKHz atomic.Int64
+
+func init() {
+	frequencyKHz.Store(int64(PaperGHz * 1e6))
+}
+
+// SetFrequency sets the nominal CPU frequency, in GHz, used to convert
+// elapsed wall-clock time into cycles. It returns the previous value.
+func SetFrequency(ghz float64) float64 {
+	if ghz <= 0 {
+		panic("cycles: frequency must be positive")
+	}
+	prev := frequencyKHz.Swap(int64(ghz * 1e6))
+	return float64(prev) / 1e6
+}
+
+// Frequency reports the nominal CPU frequency in GHz.
+func Frequency() float64 {
+	return float64(frequencyKHz.Load()) / 1e6
+}
+
+// FromDuration converts an elapsed duration to cycles at the nominal
+// frequency.
+func FromDuration(d time.Duration) float64 {
+	return d.Seconds() * Frequency() * 1e9
+}
+
+// ToDuration converts a cycle count at the nominal frequency to a duration.
+func ToDuration(c float64) time.Duration {
+	// cycles / (GHz · 1e9 cycles/s) = seconds; in nanoseconds: cycles/GHz.
+	return time.Duration(c / Frequency())
+}
+
+// Counter is a running cycle counter based on the monotonic clock.
+type Counter struct {
+	start time.Time
+}
+
+// Start returns a counter beginning now.
+func Start() Counter {
+	return Counter{start: time.Now()}
+}
+
+// Elapsed reports the cycles elapsed since Start.
+func (c Counter) Elapsed() float64 {
+	return FromDuration(time.Since(c.start))
+}
+
+// Sample holds a set of per-iteration cycle measurements.
+type Sample struct {
+	values []float64
+}
+
+// Add records one measurement.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N reports the number of measurements recorded.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean reports the arithmetic mean of the sample, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Min reports the smallest measurement, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max reports the largest measurement, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String formats the sample as "mean=… min=… max=… n=…" in whole cycles.
+func (s *Sample) String() string {
+	return fmt.Sprintf("mean=%.0f min=%.0f max=%.0f n=%d", s.Mean(), s.Min(), s.Max(), s.N())
+}
+
+// Measure runs fn iters times and returns the average cycles per call.
+// It performs a small warm-up first so that one-time costs (lazy init,
+// cache warm-up) are excluded, mirroring how the paper measures steady
+// state.
+func Measure(iters int, fn func()) float64 {
+	if iters <= 0 {
+		panic("cycles: iters must be positive")
+	}
+	warm := iters / 10
+	if warm < 1 {
+		warm = 1
+	}
+	for i := 0; i < warm; i++ {
+		fn()
+	}
+	c := Start()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return c.Elapsed() / float64(iters)
+}
+
+// MeasureMin runs rounds independent Measure calls and returns the
+// smallest per-call estimate. The minimum is the standard low-noise
+// estimator for microbenchmarks: scheduler preemptions, GC pauses, and
+// cache-cold rounds only ever inflate a round, never deflate it.
+func MeasureMin(rounds, iters int, fn func()) float64 {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	best := Measure(iters, fn)
+	for r := 1; r < rounds; r++ {
+		if v := Measure(iters, fn); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MeasureBatched is like Measure but amortizes timer overhead by timing
+// batches of calls; useful when fn is only a few nanoseconds.
+func MeasureBatched(iters, batch int, fn func()) float64 {
+	if batch <= 0 {
+		batch = 64
+	}
+	rounds := iters / batch
+	if rounds < 1 {
+		rounds = 1
+	}
+	for i := 0; i < batch; i++ {
+		fn()
+	}
+	c := Start()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < batch; i++ {
+			fn()
+		}
+	}
+	return c.Elapsed() / float64(rounds*batch)
+}

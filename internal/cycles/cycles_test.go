@@ -1,0 +1,97 @@
+package cycles
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFrequencyDefaultMatchesPaper(t *testing.T) {
+	if got := Frequency(); got != PaperGHz {
+		t.Fatalf("Frequency = %v, want %v", got, PaperGHz)
+	}
+}
+
+func TestSetFrequencyRoundTrip(t *testing.T) {
+	prev := SetFrequency(3.0)
+	defer SetFrequency(prev)
+	if prev != PaperGHz {
+		t.Fatalf("prev = %v", prev)
+	}
+	if Frequency() != 3.0 {
+		t.Fatalf("Frequency = %v, want 3.0", Frequency())
+	}
+}
+
+func TestSetFrequencyRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetFrequency(0) did not panic")
+		}
+	}()
+	SetFrequency(0)
+}
+
+func TestFromDuration(t *testing.T) {
+	// 1 µs at 2.4 GHz is 2400 cycles.
+	got := FromDuration(time.Microsecond)
+	if got < 2399 || got > 2401 {
+		t.Fatalf("FromDuration(1µs) = %v, want ~2400", got)
+	}
+}
+
+func TestToFromDurationInverse(t *testing.T) {
+	d := 1500 * time.Nanosecond
+	back := ToDuration(FromDuration(d))
+	if diff := back - d; diff > time.Nanosecond || diff < -time.Nanosecond {
+		t.Fatalf("round trip %v -> %v", d, back)
+	}
+}
+
+func TestCounterElapsedMonotone(t *testing.T) {
+	c := Start()
+	a := c.Elapsed()
+	b := c.Elapsed()
+	if b < a {
+		t.Fatalf("elapsed went backwards: %v then %v", a, b)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Fatal("empty sample stats nonzero")
+	}
+	for _, v := range []float64{10, 20, 30} {
+		s.Add(v)
+	}
+	if s.Mean() != 20 || s.Min() != 10 || s.Max() != 30 || s.N() != 3 {
+		t.Fatalf("stats = %s", s.String())
+	}
+}
+
+func TestMeasurePositive(t *testing.T) {
+	per := Measure(100, func() { time.Sleep(time.Microsecond) })
+	if per <= 0 {
+		t.Fatalf("Measure = %v, want > 0", per)
+	}
+}
+
+func TestMeasureBatchedPositive(t *testing.T) {
+	n := 0
+	per := MeasureBatched(1000, 10, func() { n++ })
+	if per < 0 {
+		t.Fatalf("MeasureBatched = %v", per)
+	}
+	if n == 0 {
+		t.Fatal("fn never called")
+	}
+}
+
+func TestMeasurePanicsOnBadIters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Measure(0) did not panic")
+		}
+	}()
+	Measure(0, func() {})
+}

@@ -1,0 +1,145 @@
+package dpdk
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestRxBurstFillsBatch(t *testing.T) {
+	p := NewPort(Config{PoolSize: 64})
+	batch := make([]*packet.Packet, 32)
+	n := p.RxBurst(batch)
+	if n != 32 {
+		t.Fatalf("RxBurst = %d, want 32", n)
+	}
+	for i := 0; i < n; i++ {
+		if batch[i] == nil {
+			t.Fatalf("nil packet at %d", i)
+		}
+		if err := batch[i].Parse(); err != nil {
+			t.Fatalf("generated packet %d does not parse: %v", i, err)
+		}
+		if batch[i].RxPort != 0 {
+			t.Fatalf("RxPort = %d", batch[i].RxPort)
+		}
+	}
+	if got := p.Stats.RxPackets.Load(); got != 32 {
+		t.Fatalf("RxPackets = %d", got)
+	}
+}
+
+func TestRxBurstExhaustsPool(t *testing.T) {
+	p := NewPort(Config{PoolSize: 8})
+	batch := make([]*packet.Packet, 16)
+	n := p.RxBurst(batch)
+	if n != 8 {
+		t.Fatalf("RxBurst = %d, want 8 (pool size)", n)
+	}
+	if p.Stats.AllocFail.Load() == 0 {
+		t.Fatal("no alloc failure recorded")
+	}
+	p.Free(batch[:n])
+	if p.PoolAvailable() != 8 {
+		t.Fatalf("pool leak: %d available", p.PoolAvailable())
+	}
+}
+
+func TestTxBurstRecycles(t *testing.T) {
+	p := NewPort(Config{PoolSize: 16})
+	batch := make([]*packet.Packet, 16)
+	n := p.RxBurst(batch)
+	sent := p.TxBurst(batch[:n])
+	if sent != n {
+		t.Fatalf("TxBurst = %d, want %d", sent, n)
+	}
+	if p.PoolAvailable() != 16 {
+		t.Fatalf("pool not refilled: %d", p.PoolAvailable())
+	}
+	if p.Stats.TxPackets.Load() != uint64(n) {
+		t.Fatalf("TxPackets = %d", p.Stats.TxPackets.Load())
+	}
+	// Rx again reuses the same buffers (zero-alloc steady state).
+	m := p.RxBurst(batch)
+	if m != 16 {
+		t.Fatalf("second RxBurst = %d", m)
+	}
+	p.Free(batch[:m])
+}
+
+func TestTxBurstSkipsNil(t *testing.T) {
+	p := NewPort(Config{PoolSize: 4})
+	batch := make([]*packet.Packet, 2)
+	n := p.RxBurst(batch)
+	if n != 2 {
+		t.Fatal("rx failed")
+	}
+	p.TxBurst([]*packet.Packet{batch[0], nil, batch[1]})
+	if p.Stats.TxPackets.Load() != 2 {
+		t.Fatalf("TxPackets = %d, want 2", p.Stats.TxPackets.Load())
+	}
+}
+
+func TestUniformFlowsCycle(t *testing.T) {
+	g := &UniformFlows{Base: DefaultSpec(), Flows: 4}
+	seen := make(map[packet.FiveTuple]bool)
+	var spec packet.BuildSpec
+	for i := 0; i < 8; i++ {
+		g.NextSpec(&spec)
+		seen[spec.Tuple] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("distinct flows = %d, want 4", len(seen))
+	}
+}
+
+func TestZipfFlowsSkewedAndDeterministic(t *testing.T) {
+	mk := func() map[packet.IPv4]int {
+		g := NewZipfFlows(DefaultSpec(), 1000, 1.5, 42)
+		counts := make(map[packet.IPv4]int)
+		var spec packet.BuildSpec
+		for i := 0; i < 5000; i++ {
+			g.NextSpec(&spec)
+			counts[spec.Tuple.SrcIP]++
+		}
+		return counts
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("zipf generator not deterministic")
+	}
+	// The most popular flow should dominate: > 20% of traffic for s=1.5.
+	base := DefaultSpec().Tuple.SrcIP
+	if a[base] < 1000 {
+		t.Fatalf("head flow count = %d, want skewed (>1000 of 5000)", a[base])
+	}
+}
+
+func TestZipfFlowsRejectsZeroFlows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewZipfFlows(DefaultSpec(), 0, 1.5, 1)
+}
+
+func TestFixedFlowConstant(t *testing.T) {
+	g := &FixedFlow{Spec: DefaultSpec()}
+	var a, b packet.BuildSpec
+	g.NextSpec(&a)
+	g.NextSpec(&b)
+	if a.Tuple != b.Tuple {
+		t.Fatal("fixed flow varied")
+	}
+}
+
+func BenchmarkRxTxBurst32(b *testing.B) {
+	p := NewPort(Config{PoolSize: 4096})
+	batch := make([]*packet.Packet, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := p.RxBurst(batch)
+		p.TxBurst(batch[:n])
+	}
+}

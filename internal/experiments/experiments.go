@@ -1,0 +1,350 @@
+// Package experiments implements the measurement harnesses that
+// regenerate every quantitative result in the paper's evaluation:
+// Figure 2 (remote-invocation overhead vs. batch size, against Maglev),
+// the §3 scalars (pipeline-length independence, recovery cost), Figure 3
+// (checkpoint copy counts), and the ablations DESIGN.md calls out. The
+// cmd/ binaries and the root bench_test.go are thin wrappers over this
+// package so that the printed tables and the testing.B benchmarks share
+// one implementation.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cycles"
+	"repro/internal/dpdk"
+	"repro/internal/firewall"
+	"repro/internal/linear"
+	"repro/internal/maglev"
+	"repro/internal/netbricks"
+	"repro/internal/packet"
+	"repro/internal/sfi"
+)
+
+// PaperBatchSizes are the batch sizes on Figure 2's x-axis.
+var PaperBatchSizes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// PaperPipelineLength is the pipeline length Figure 2 is reported for.
+const PaperPipelineLength = 5
+
+// Figure2Row is one point of Figure 2.
+type Figure2Row struct {
+	BatchSize       int
+	DirectCycles    float64 // cycles per batch, plain function calls
+	IsolatedCycles  float64 // cycles per batch, remote invocations
+	OverheadPerCall float64 // (isolated - direct) / pipeline length
+	MaglevCycles    float64 // cycles per batch of the Maglev NF
+	OverheadPct     float64 // overhead as % of Maglev per-batch cost
+}
+
+// nullOps builds n null-filter stages.
+func nullOps(n int) []netbricks.Operator {
+	ops := make([]netbricks.Operator, n)
+	for i := range ops {
+		ops[i] = netbricks.NullFilter{}
+	}
+	return ops
+}
+
+// fetchBatch pulls one batch of the given size from a fresh port.
+func fetchBatch(size int) *netbricks.Batch {
+	port := dpdk.NewPort(dpdk.Config{PoolSize: size + 64})
+	pkts := make([]*packet.Packet, size)
+	n := port.RxBurst(pkts)
+	return &netbricks.Batch{Pkts: pkts[:n]}
+}
+
+// measurementRounds is the min-of-k repetition count for every timing.
+const measurementRounds = 5
+
+// measureDirect measures cycles/batch through a direct pipeline.
+func measureDirect(pl *netbricks.Pipeline, batch *netbricks.Batch, iters int) float64 {
+	return cycles.MeasureMin(measurementRounds, iters, func() {
+		owned := linear.New(batch)
+		out, err := pl.Process(owned)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := out.Into(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// measureIsolated measures cycles/batch through an isolated pipeline.
+func measureIsolated(ip *netbricks.IsolatedPipeline, ctx *sfi.Context, batch *netbricks.Batch, iters int) float64 {
+	return cycles.MeasureMin(measurementRounds, iters, func() {
+		owned := linear.New(batch)
+		out, err := ip.Process(ctx, owned)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := out.Into(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// Figure2 regenerates the paper's Figure 2: a pipeline of null filters of
+// the given length, measured with plain calls and with per-stage
+// protection domains, across batch sizes; the per-invocation overhead is
+// plotted against the per-batch cost of the Maglev NF.
+func Figure2(batchSizes []int, pipelineLen, iters int) ([]Figure2Row, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	rows := make([]Figure2Row, 0, len(batchSizes))
+	for _, bs := range batchSizes {
+		direct := netbricks.NewPipeline(nullOps(pipelineLen)...)
+		mgr := sfi.NewManager()
+		iso, err := netbricks.NewIsolatedPipeline(mgr, nullOps(pipelineLen), nil)
+		if err != nil {
+			return nil, err
+		}
+		batch := fetchBatch(bs)
+		d := measureDirect(direct, batch, iters)
+		i := measureIsolated(iso, sfi.NewContext(), batch, iters)
+
+		m, err := maglevBatchCost(bs, iters)
+		if err != nil {
+			return nil, err
+		}
+		over := (i - d) / float64(pipelineLen)
+		if over < 0 {
+			over = 0
+		}
+		rows = append(rows, Figure2Row{
+			BatchSize:       bs,
+			DirectCycles:    d,
+			IsolatedCycles:  i,
+			OverheadPerCall: over,
+			MaglevCycles:    m,
+			OverheadPct:     over / m * 100,
+		})
+	}
+	return rows, nil
+}
+
+// maglevBatchCost measures the per-batch processing cost of the Maglev
+// load balancer at the given batch size — the "realistic, but
+// light-weight, network function" reference line in Figure 2.
+func maglevBatchCost(batchSize, iters int) (float64, error) {
+	backends := make([]maglev.Backend, 16)
+	for i := range backends {
+		backends[i] = maglev.Backend{Name: fmt.Sprintf("be-%d", i), IP: packet.Addr(10, 1, 0, byte(i+1))}
+	}
+	lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
+	if err != nil {
+		return 0, err
+	}
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: batchSize + 64,
+		Gen:      &dpdk.UniformFlows{Base: dpdk.DefaultSpec(), Flows: 1024},
+	})
+	pkts := make([]*packet.Packet, batchSize)
+	n := port.RxBurst(pkts)
+	batch := &netbricks.Batch{Pkts: pkts[:n]}
+	op := maglev.Operator{LB: lb}
+	return cycles.MeasureMin(measurementRounds, iters, func() {
+		if err := op.ProcessBatch(batch); err != nil {
+			panic(err)
+		}
+	}), nil
+}
+
+// LengthRow is one pipeline-length measurement (the §3 claim that
+// per-invocation overhead is independent of pipeline length).
+type LengthRow struct {
+	PipelineLen     int
+	OverheadPerCall float64
+}
+
+// PipelineLengths measures per-invocation overhead across pipeline
+// lengths at a fixed batch size.
+func PipelineLengths(lengths []int, batchSize, iters int) ([]LengthRow, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	rows := make([]LengthRow, 0, len(lengths))
+	for _, n := range lengths {
+		direct := netbricks.NewPipeline(nullOps(n)...)
+		mgr := sfi.NewManager()
+		iso, err := netbricks.NewIsolatedPipeline(mgr, nullOps(n), nil)
+		if err != nil {
+			return nil, err
+		}
+		batch := fetchBatch(batchSize)
+		d := measureDirect(direct, batch, iters)
+		i := measureIsolated(iso, sfi.NewContext(), batch, iters)
+		over := (i - d) / float64(n)
+		if over < 0 {
+			over = 0
+		}
+		rows = append(rows, LengthRow{PipelineLen: n, OverheadPerCall: over})
+	}
+	return rows, nil
+}
+
+// RecoveryResult reports the §3 recovery experiment: the cycles from the
+// panic in the null filter to a fully re-initialized domain.
+type RecoveryResult struct {
+	Cycles     float64 // mean
+	Min        float64 // low-noise estimate
+	Iterations int
+}
+
+// Recovery measures the cost of catching a panic, cleaning up the failed
+// domain, and recreating it from clean state (paper: 4389 cycles).
+func Recovery(iters int) (RecoveryResult, error) {
+	if iters <= 0 {
+		iters = 500
+	}
+	mgr := sfi.NewManager()
+	d := mgr.NewDomain("null-filter")
+	rref, err := sfi.Export[netbricks.Operator](d, netbricks.NullFilter{})
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	slot := rref.Slot()
+	d.SetRecovery(func(d *sfi.Domain) error {
+		return sfi.ExportAt[netbricks.Operator](d, slot, netbricks.NullFilter{})
+	})
+	ctx := sfi.NewContext()
+	var sample cycles.Sample
+	for i := 0; i < iters; i++ {
+		c := cycles.Start()
+		err := rref.Call(ctx, "process", func(netbricks.Operator) error {
+			panic("injected fault")
+		})
+		if err == nil {
+			return RecoveryResult{}, fmt.Errorf("injected panic not caught")
+		}
+		if rerr := mgr.Recover(d); rerr != nil {
+			return RecoveryResult{}, rerr
+		}
+		sample.Add(c.Elapsed())
+		// Confirm the domain is usable again (outside the timed region).
+		if err := rref.Call(ctx, "process", func(netbricks.Operator) error { return nil }); err != nil {
+			return RecoveryResult{}, fmt.Errorf("domain unusable after recovery: %w", err)
+		}
+	}
+	return RecoveryResult{Cycles: sample.Mean(), Min: sample.Min(), Iterations: sample.N()}, nil
+}
+
+// Figure3Row is one mode of the checkpoint experiment.
+type Figure3Row struct {
+	Mode          checkpoint.Mode
+	Rules         int // distinct rules in the database
+	Handles       int // total rule handles (aliases included)
+	CopiesMade    int // rule objects copied by the checkpoint
+	SetProbes     int // visited-set lookups (VisitedSet mode)
+	Cycles        float64
+	SharingIntact bool // restored DB has the same distinct/handle counts
+}
+
+// BuildFirewallDB constructs a rule database with the given number of
+// distinct rules, each attached under shareFactor prefixes (shareFactor
+// > 1 recreates Figure 3a's multiple-leaves-per-rule sharing).
+func BuildFirewallDB(rules, shareFactor int) (*firewall.DB, error) {
+	db := firewall.NewDB(firewall.Deny)
+	for r := 0; r < rules; r++ {
+		base := packet.Addr(10, byte(r/256), byte(r%256), 0)
+		h, err := db.AddRule(base, 24, firewall.Rule{ID: r, Action: firewall.Allow, Comment: fmt.Sprintf("rule %d", r)})
+		if err != nil {
+			return nil, err
+		}
+		for s := 1; s < shareFactor; s++ {
+			alias := packet.Addr(172, byte((r*7+s)/256%256), byte((r*7+s)%256), 0)
+			if err := db.AttachRule(alias, 24, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// Figure3 checkpoints the firewall database under each engine mode and
+// reports copy counts and costs, reproducing Figure 3's comparison of
+// naive duplication vs. alias-aware sharing (plus the visited-set
+// ablation).
+func Figure3(rules, shareFactor, iters int) ([]Figure3Row, error) {
+	if iters <= 0 {
+		iters = 50
+	}
+	rows := make([]Figure3Row, 0, 3)
+	for _, mode := range []checkpoint.Mode{checkpoint.RcAware, checkpoint.Naive, checkpoint.VisitedSet} {
+		db, err := BuildFirewallDB(rules, shareFactor)
+		if err != nil {
+			return nil, err
+		}
+		distinct, handles := db.RuleCount()
+		eng := checkpoint.NewEngine(mode)
+		var snap *checkpoint.Snapshot
+		cost := cycles.MeasureMin(3, iters, func() {
+			s, err := db.Checkpoint(eng)
+			if err != nil {
+				panic(err)
+			}
+			snap = s
+		})
+		restored, err := firewall.RestoreDB(snap)
+		if err != nil {
+			return nil, err
+		}
+		rd, rh := restored.RuleCount()
+		intact := rd == distinct && rh == handles
+		if mode == checkpoint.Naive {
+			intact = rd == handles && rh == handles // duplication expected
+		}
+		rows = append(rows, Figure3Row{
+			Mode:          mode,
+			Rules:         distinct,
+			Handles:       handles,
+			CopiesMade:    snap.Stats().RcFirst,
+			SetProbes:     snap.Stats().SetProbes,
+			Cycles:        cost,
+			SharingIntact: intact,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure2 renders the Figure 2 table.
+func PrintFigure2(w io.Writer, rows []Figure2Row) {
+	fmt.Fprintf(w, "Figure 2: remote-invocation overhead vs. Maglev batch cost (%.2f GHz clock)\n", cycles.Frequency())
+	fmt.Fprintf(w, "%10s %14s %14s %12s %12s %10s\n",
+		"pkts/batch", "direct cyc", "isolated cyc", "ovh/call", "maglev cyc", "ovh %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %14.0f %14.0f %12.0f %12.0f %9.2f%%\n",
+			r.BatchSize, r.DirectCycles, r.IsolatedCycles, r.OverheadPerCall, r.MaglevCycles, r.OverheadPct)
+	}
+}
+
+// PrintLengths renders the pipeline-length table.
+func PrintLengths(w io.Writer, rows []LengthRow) {
+	fmt.Fprintln(w, "Pipeline-length independence of per-invocation overhead")
+	fmt.Fprintf(w, "%8s %12s\n", "stages", "ovh/call")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.0f\n", r.PipelineLen, r.OverheadPerCall)
+	}
+}
+
+// PrintFigure3 renders the checkpoint table.
+func PrintFigure3(w io.Writer, rows []Figure3Row) {
+	fmt.Fprintln(w, "Figure 3: checkpointing a shared-rule firewall database")
+	fmt.Fprintf(w, "%12s %8s %8s %8s %10s %12s %8s\n",
+		"mode", "rules", "handles", "copies", "probes", "cycles", "sharing")
+	for _, r := range rows {
+		status := "lost"
+		if r.SharingIntact {
+			status = "ok"
+		}
+		if r.Mode == checkpoint.Naive {
+			status = "duplicated"
+		}
+		fmt.Fprintf(w, "%12s %8d %8d %8d %10d %12.0f %8s\n",
+			r.Mode, r.Rules, r.Handles, r.CopiesMade, r.SetProbes, r.Cycles, status)
+	}
+}

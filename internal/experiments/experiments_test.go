@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// Small iteration counts: these tests validate structure and invariants,
+// not precision; the real numbers come from the bench harness.
+const testIters = 50
+
+func TestFigure2RowsWellFormed(t *testing.T) {
+	rows, err := Figure2([]int{1, 8, 64}, 5, testIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DirectCycles <= 0 || r.IsolatedCycles <= 0 || r.MaglevCycles <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+		if r.IsolatedCycles < r.DirectCycles {
+			t.Logf("note: isolated < direct at batch %d (noise at low iters)", r.BatchSize)
+		}
+		if r.OverheadPerCall < 0 {
+			t.Fatalf("negative overhead: %+v", r)
+		}
+	}
+	// The key Figure 2 shape: overhead relative to Maglev falls as the
+	// batch grows, because Maglev's per-batch cost scales with packets
+	// while the per-invocation overhead does not.
+	if rows[0].OverheadPct < rows[len(rows)-1].OverheadPct {
+		// Tolerate noise but require monotone trend between extremes.
+		t.Fatalf("overhead%% did not fall with batch size: %v vs %v",
+			rows[0].OverheadPct, rows[len(rows)-1].OverheadPct)
+	}
+	// Maglev per-batch cost must grow with batch size.
+	if rows[len(rows)-1].MaglevCycles <= rows[0].MaglevCycles {
+		t.Fatalf("maglev cost did not grow with batch: %v vs %v",
+			rows[0].MaglevCycles, rows[len(rows)-1].MaglevCycles)
+	}
+}
+
+func TestPipelineLengthsWellFormed(t *testing.T) {
+	rows, err := PipelineLengths([]int{1, 5}, 16, testIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OverheadPerCall < 0 {
+			t.Fatalf("negative overhead: %+v", r)
+		}
+	}
+}
+
+func TestRecoveryMeasurement(t *testing.T) {
+	res, err := Recovery(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 30 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("cycles = %v", res.Cycles)
+	}
+	// Shape: recovery costs at least hundreds of cycles (it allocates a
+	// table, runs the recovery fn, etc.).
+	if res.Cycles < 100 {
+		t.Fatalf("implausibly cheap recovery: %v cycles", res.Cycles)
+	}
+}
+
+func TestBuildFirewallDBSharing(t *testing.T) {
+	db, err := BuildFirewallDB(50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, handles := db.RuleCount()
+	if distinct != 50 {
+		t.Fatalf("distinct = %d", distinct)
+	}
+	if handles != 200 {
+		t.Fatalf("handles = %d, want rules*share", handles)
+	}
+}
+
+func TestFigure3CopyCounts(t *testing.T) {
+	const rules, share = 40, 3
+	rows, err := Figure3(rules, share, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMode := map[checkpoint.Mode]Figure3Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	// The Figure 3 statement, exactly:
+	if got := byMode[checkpoint.RcAware].CopiesMade; got != rules {
+		t.Fatalf("rc-aware copies = %d, want %d (one per distinct rule)", got, rules)
+	}
+	if got := byMode[checkpoint.Naive].CopiesMade; got != rules*share {
+		t.Fatalf("naive copies = %d, want %d (one per handle: duplication)", got, rules*share)
+	}
+	if got := byMode[checkpoint.VisitedSet].CopiesMade; got != rules {
+		t.Fatalf("visited-set copies = %d, want %d", got, rules)
+	}
+	if byMode[checkpoint.VisitedSet].SetProbes == 0 {
+		t.Fatal("visited-set probes = 0; the ablation cost is missing")
+	}
+	if byMode[checkpoint.RcAware].SetProbes != 0 {
+		t.Fatal("rc-aware should not probe any table")
+	}
+	for _, r := range rows {
+		if !r.SharingIntact {
+			t.Fatalf("mode %s: restored structure check failed", r.Mode)
+		}
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var sb strings.Builder
+	f2, err := Figure2([]int{1}, 2, testIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFigure2(&sb, f2)
+	if !strings.Contains(sb.String(), "Figure 2") || !strings.Contains(sb.String(), "pkts/batch") {
+		t.Fatalf("figure2 output = %q", sb.String())
+	}
+	sb.Reset()
+	pl, err := PipelineLengths([]int{1}, 4, testIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintLengths(&sb, pl)
+	if !strings.Contains(sb.String(), "stages") {
+		t.Fatalf("lengths output = %q", sb.String())
+	}
+	sb.Reset()
+	f3, err := Figure3(10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFigure3(&sb, f3)
+	out := sb.String()
+	if !strings.Contains(out, "rc-aware") || !strings.Contains(out, "duplicated") {
+		t.Fatalf("figure3 output = %q", out)
+	}
+}

@@ -1,0 +1,540 @@
+package ifc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/minirust"
+)
+
+// analyzeSrc runs the full front end plus the IFC analysis.
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	c, lat := checkSrc(t, src)
+	res, err := Analyze(c, lat)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+func checkSrc(t *testing.T, src string) (*minirust.Checked, *Lattice) {
+	t.Helper()
+	prog, err := minirust.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := minirust.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if err := minirust.BorrowCheck(c); err != nil {
+		t.Fatalf("borrowck: %v", err)
+	}
+	lat, err := ForProgram(prog)
+	if err != nil {
+		t.Fatalf("lattice: %v", err)
+	}
+	return c, lat
+}
+
+func TestPaperLine16DirectLeakDetected(t *testing.T) {
+	// The paper's §4 result: "in line 15, the content of the buffer is
+	// tainted as secret, which triggers an error in line 16."
+	res := analyzeSrc(t, minirust.PaperBufferProgram(true, false))
+	if res.OK() {
+		t.Fatal("analysis missed the paper's line-16 leak")
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	v := res.Violations[0]
+	if v.Sink != "println" || v.Label != "secret" || v.Bound != "public" {
+		t.Fatalf("violation = %+v", v)
+	}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+func TestPaperProgramWithoutLeakVerifies(t *testing.T) {
+	// Lines 1-15 only (no println of the buffer): clean.
+	res := analyzeSrc(t, minirust.PaperBufferProgram(false, false))
+	if !res.OK() {
+		t.Fatalf("false positive: %v", res.Violations)
+	}
+}
+
+func TestPublicDataPrintsFine(t *testing.T) {
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(public)]
+    let nonsec = vec![1, 2, 3];
+    println(nonsec);
+}
+`)
+	if !res.OK() {
+		t.Fatalf("false positive: %v", res.Violations)
+	}
+}
+
+func TestExplicitFlowThroughArithmetic(t *testing.T) {
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let sec = 7;
+    let derived = sec * 2 + 1;
+    println(derived);
+}
+`)
+	if res.OK() || res.Violations[0].Label != "secret" {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}
+
+func TestImplicitFlowViaBranch(t *testing.T) {
+	// The auxiliary pc variable: branching on secret taints writes.
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let sec = 1;
+    let mut leak = 0;
+    if sec == 1 {
+        leak = 1;
+    }
+    println(leak);
+}
+`)
+	if res.OK() {
+		t.Fatal("implicit flow missed")
+	}
+}
+
+func TestImplicitFlowViaElseBranch(t *testing.T) {
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let sec = 1;
+    let mut leak = 0;
+    if sec == 1 { } else {
+        leak = 1;
+    }
+    println(leak);
+}
+`)
+	if res.OK() {
+		t.Fatal("else-branch implicit flow missed")
+	}
+}
+
+func TestImplicitFlowViaLoop(t *testing.T) {
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let sec = 3;
+    let mut i = 0;
+    let mut leak = 0;
+    while i < sec {
+        leak = leak + 1;
+        i = i + 1;
+    }
+    println(leak);
+}
+`)
+	if res.OK() {
+		t.Fatal("loop implicit flow missed")
+	}
+}
+
+func TestPrintlnInsideSecretBranchFlagged(t *testing.T) {
+	// Even printing a constant inside a secret branch leaks one bit.
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let sec = true;
+    if sec {
+        println(1);
+    }
+}
+`)
+	if res.OK() {
+		t.Fatal("pc-tainted println missed")
+	}
+}
+
+func TestBranchWritesDoNotStickAfterJoinWhenPublic(t *testing.T) {
+	// Writing public data in a public branch must stay public.
+	res := analyzeSrc(t, `
+fn main() {
+    let c = true;
+    let mut x = 0;
+    if c {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    println(x);
+}
+`)
+	if !res.OK() {
+		t.Fatalf("false positive: %v", res.Violations)
+	}
+}
+
+func TestFlowThroughFunctionReturn(t *testing.T) {
+	res := analyzeSrc(t, `
+fn identity(x: i64) -> i64 { return x; }
+fn main() {
+    #[label(secret)]
+    let sec = 5;
+    let y = identity(sec);
+    println(y);
+}
+`)
+	if res.OK() {
+		t.Fatal("flow through function return missed")
+	}
+}
+
+func TestFunctionSummariesPolyvariant(t *testing.T) {
+	// The same function called with public and secret arguments must be
+	// judged separately: public call is fine, secret call leaks.
+	res := analyzeSrc(t, `
+fn show(x: i64) { println(x); }
+fn main() {
+    let pub1 = 1;
+    #[label(secret)]
+    let sec = 2;
+    show(pub1);
+    show(sec);
+}
+`)
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v, want exactly the secret call's", res.Violations)
+	}
+}
+
+func TestSummaryCacheHits(t *testing.T) {
+	res := analyzeSrc(t, `
+fn f(x: i64) -> i64 { return x + 1; }
+fn main() {
+    let a = f(1);
+    let b = f(1);
+    let c = f(1);
+    println(a, b, c);
+}
+`)
+	if res.SummaryHits < 2 {
+		t.Fatalf("SummaryHits = %d, want >= 2 (same abstract input reused)", res.SummaryHits)
+	}
+}
+
+func TestFlowThroughMutBorrow(t *testing.T) {
+	// A callee that writes secret data through &mut must taint the
+	// caller's variable.
+	res := analyzeSrc(t, `
+fn poison(v: &mut Vec<i64>, x: i64) {
+    vec_push(v, x);
+}
+fn main() {
+    #[label(secret)]
+    let sec = 9;
+    let mut v = vec![1];
+    poison(&mut v, sec);
+    println(v);
+}
+`)
+	if res.OK() {
+		t.Fatal("flow through &mut parameter missed")
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	// Secret in one field must not taint a sibling field.
+	res := analyzeSrc(t, `
+struct Pair { a: Vec<i64>, b: Vec<i64> }
+fn main() {
+    #[label(secret)]
+    let sec = vec![1];
+    #[label(public)]
+    let pub1 = vec![2];
+    let p = Pair { a: sec, b: pub1 };
+    println(p.b);
+}
+`)
+	if !res.OK() {
+		t.Fatalf("field-insensitive false positive: %v", res.Violations)
+	}
+	// But printing the secret field (or the whole struct) is flagged.
+	res2 := analyzeSrc(t, `
+struct Pair { a: Vec<i64>, b: Vec<i64> }
+fn main() {
+    #[label(secret)]
+    let sec = vec![1];
+    #[label(public)]
+    let pub1 = vec![2];
+    let p = Pair { a: sec, b: pub1 };
+    println(p.a);
+}
+`)
+	if res2.OK() {
+		t.Fatal("secret field print missed")
+	}
+}
+
+func TestMethodReceiverTaint(t *testing.T) {
+	// The paper's buffer flow through a method: append(&mut self, secret)
+	// taints self.data in the caller.
+	res := analyzeSrc(t, `
+struct B { data: Vec<i64> }
+impl B {
+    fn add(&mut self, v: Vec<i64>) {
+        let n = vec_len(&v);
+        let mut i = 0;
+        while i < n {
+            vec_push(&mut self.data, vec_get(&v, i));
+            i = i + 1;
+        }
+    }
+}
+fn main() {
+    let mut b = B { data: vec![] };
+    #[label(secret)]
+    let sec = vec![7];
+    b.add(sec);
+    println(b.data);
+}
+`)
+	if res.OK() {
+		t.Fatal("receiver taint through method missed")
+	}
+}
+
+func TestDeclassifyTrustedLowering(t *testing.T) {
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let sec = 42;
+    let released = declassify(sec, "public");
+    println(released);
+}
+`)
+	if !res.OK() {
+		t.Fatalf("declassified data still flagged: %v", res.Violations)
+	}
+}
+
+func TestAssertLabelMax(t *testing.T) {
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let sec = 1;
+    assert_label_max(sec, "secret");
+    assert_label_max(sec + 0, "public");
+}
+`)
+	if len(res.Violations) != 1 || res.Violations[0].Sink != "assert_label_max" {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}
+
+func TestCustomLatticeThreeLevels(t *testing.T) {
+	res := analyzeSrc(t, `
+labels low < mid < high;
+fn main() {
+    #[label(mid)]
+    let m = 1;
+    assert_label_max(m, "mid");
+    assert_label_max(m, "high");
+    assert_label_max(m, "low");
+}
+`)
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if res.Violations[0].Label != "mid" || res.Violations[0].Bound != "low" {
+		t.Fatalf("violation = %+v", res.Violations[0])
+	}
+}
+
+func TestUnknownAnnotationLabelRejected(t *testing.T) {
+	c, lat := checkSrc(t, `
+fn main() {
+    #[label(mystery)]
+    let x = 1;
+}
+`)
+	_, err := Analyze(c, lat)
+	var ae *AnalysisError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownDeclassifyLabelRejected(t *testing.T) {
+	c, lat := checkSrc(t, `
+fn main() {
+    let x = declassify(1, "mystery");
+}
+`)
+	if _, err := Analyze(c, lat); err == nil {
+		t.Fatal("unknown declassify label accepted")
+	}
+}
+
+func TestRecursionOnKnownInputResolves(t *testing.T) {
+	// A recursive call with a statically known argument fully unrolls
+	// (value precision), so this is clean.
+	res := analyzeSrc(t, `
+fn rec(n: i64) -> i64 {
+    if n < 1 { return 0; }
+    return rec(n - 1);
+}
+fn main() {
+    println(rec(3));
+}
+`)
+	if !res.OK() {
+		t.Fatalf("constant recursion flagged: %v", res.Violations)
+	}
+}
+
+func TestRecursionSoundFallback(t *testing.T) {
+	// Recursion on an unknown input hits the same abstract frame and
+	// falls back to Top — conservative, so printing the result is
+	// flagged even though the input is public (sound, if imprecise).
+	res := analyzeSrc(t, `
+fn rec(n: i64) -> i64 {
+    if n < 1 { return 0; }
+    return rec(n - 1);
+}
+fn main() {
+    #[label(public)]
+    let k = 5;
+    println(rec(k));
+}
+`)
+	if res.OK() {
+		t.Fatal("recursion fallback should be conservative (Top)")
+	}
+}
+
+func TestViolationOrderingAndTaintSite(t *testing.T) {
+	res := analyzeSrc(t, `
+fn main() {
+    #[label(secret)]
+    let s1 = 1;
+    println(s1);
+    println(s1 + 1);
+}
+`)
+	if len(res.Violations) != 2 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if res.Violations[0].Pos.Line > res.Violations[1].Pos.Line {
+		t.Fatal("violations not sorted")
+	}
+	if res.Violations[0].TaintAt.Line != 4 {
+		t.Fatalf("taint site = %v, want the labeled let (line 4)", res.Violations[0].TaintAt)
+	}
+}
+
+// The soundness metatheorem, tested empirically: if the static analysis
+// accepts a program, the dynamic monitor (ground truth) must never fire
+// on a concrete run. Exercised over a corpus of tricky programs.
+func TestStaticAcceptImpliesDynamicClean(t *testing.T) {
+	corpus := []string{
+		minirust.PaperBufferProgram(false, false),
+		`fn main() {
+    #[label(secret)] let s = 1;
+    let mut x = 0;
+    if true { x = 1; } else { x = 2; }
+    println(x);
+    assert_label_max(s, "secret");
+}`,
+		`fn f(a: i64, b: i64) -> i64 { return a + b; }
+fn main() {
+    #[label(secret)] let s = 1;
+    let p = f(2, 3);
+    println(p);
+    let q = f(s, 1);
+    assert_label_max(q, "secret");
+}`,
+		`struct S { a: Vec<i64>, b: Vec<i64> }
+fn main() {
+    #[label(secret)] let sec = vec![1];
+    let s = S { a: sec, b: vec![2] };
+    println(s.b);
+}`,
+		`fn main() {
+    #[label(secret)] let s = 10;
+    let d = declassify(s / 2, "public");
+    println(d);
+}`,
+		`fn main() {
+    let mut v = vec![];
+    let mut i = 0;
+    while i < 5 { vec_push(&mut v, i); i = i + 1; }
+    println(v, vec_len(&v));
+}`,
+	}
+	for i, src := range corpus {
+		c, lat := checkSrc(t, src)
+		res, err := Analyze(c, lat)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !res.OK() {
+			t.Fatalf("case %d statically rejected: %v", i, res.Violations)
+		}
+		var out bytes.Buffer
+		err = minirust.NewInterp(c, minirust.WithOutput(&out), minirust.WithMonitor(lat.Monitor())).Run()
+		var leak *minirust.LeakError
+		if errors.As(err, &leak) {
+			t.Fatalf("case %d: static accepted but dynamic leaked: %v", i, leak)
+		}
+		if err != nil {
+			t.Fatalf("case %d: runtime error: %v", i, err)
+		}
+	}
+}
+
+// Conversely: every program the dynamic monitor catches, the static
+// analysis must also catch (completeness on this corpus — static may be
+// stricter, never laxer).
+func TestDynamicLeakImpliesStaticReject(t *testing.T) {
+	corpus := []string{
+		minirust.PaperBufferProgram(true, false),
+		`fn main() {
+    #[label(secret)] let s = 1;
+    println(s);
+}`,
+		`fn main() {
+    #[label(secret)] let s = 1;
+    if s == 1 { println(0); }
+}`,
+		`fn main() {
+    #[label(secret)] let s = 1;
+    let mut x = 0;
+    if s == 1 { x = 1; }
+    println(x);
+}`,
+	}
+	for i, src := range corpus {
+		c, lat := checkSrc(t, src)
+		var out bytes.Buffer
+		err := minirust.NewInterp(c, minirust.WithOutput(&out), minirust.WithMonitor(lat.Monitor())).Run()
+		var leak *minirust.LeakError
+		if !errors.As(err, &leak) {
+			t.Fatalf("case %d: dynamic monitor did not fire (fixture broken): %v", i, err)
+		}
+		res, err2 := Analyze(c, lat)
+		if err2 != nil {
+			t.Fatalf("case %d: %v", i, err2)
+		}
+		if res.OK() {
+			t.Fatalf("case %d: dynamic leak but static analysis accepted — unsound", i)
+		}
+	}
+}

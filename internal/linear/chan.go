@@ -1,0 +1,84 @@
+package linear
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrChanClosed reports a send on or receive from a closed channel.
+var ErrChanClosed = errors.New("linear: channel closed")
+
+// Chan is an ownership-transferring channel: Send moves the value in
+// (invalidating the sender's handle before the value is enqueued, exactly
+// like passing it to a function — §2: "after passing an object reference
+// to a function or channel, the caller loses access"), and Recv hands the
+// receiver a fresh owned handle. This is the communication primitive the
+// Singularity exchange heap provided with linear types, and what the SFI
+// layer's CallMove provides synchronously.
+type Chan[T any] struct {
+	ch     chan Owned[T]
+	closed atomic.Bool
+}
+
+// NewChan creates a channel with the given buffer size (0 = synchronous).
+func NewChan[T any](buffer int) *Chan[T] {
+	return &Chan[T]{ch: make(chan Owned[T], buffer)}
+}
+
+// Send moves v into the channel. The caller's handle dies first, so no
+// window exists in which both the sender and the channel own the value.
+// A send on a closed channel fails without consuming the handle.
+func (c *Chan[T]) Send(v Owned[T]) error {
+	if c.closed.Load() {
+		return ErrChanClosed
+	}
+	moved, err := v.Move()
+	if err != nil {
+		return err
+	}
+	// The racing-close window: re-check after the move so a concurrent
+	// Close cannot strand a value in a channel nobody will drain. If we
+	// lose, surrender ownership back to the caller's error path by
+	// dropping the value (the channel "owns and destroys" it, as a real
+	// linear channel's destructor would).
+	if c.closed.Load() {
+		_ = moved.Drop()
+		return ErrChanClosed
+	}
+	c.ch <- moved
+	return nil
+}
+
+// Recv receives the next value, blocking until one is available or the
+// channel is closed and drained.
+func (c *Chan[T]) Recv() (Owned[T], error) {
+	v, ok := <-c.ch
+	if !ok {
+		return Owned[T]{}, ErrChanClosed
+	}
+	return v, nil
+}
+
+// TryRecv receives without blocking; ok=false means no value was ready.
+func (c *Chan[T]) TryRecv() (Owned[T], bool, error) {
+	select {
+	case v, open := <-c.ch:
+		if !open {
+			return Owned[T]{}, false, ErrChanClosed
+		}
+		return v, true, nil
+	default:
+		return Owned[T]{}, false, nil
+	}
+}
+
+// Close closes the channel. Values already enqueued remain receivable;
+// further sends fail. Closing twice is a no-op.
+func (c *Chan[T]) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.ch)
+	}
+}
+
+// Len reports queued values.
+func (c *Chan[T]) Len() int { return len(c.ch) }

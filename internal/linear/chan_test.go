@@ -1,0 +1,175 @@
+package linear
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestChanTransfersOwnership(t *testing.T) {
+	ch := NewChan[[]int](1)
+	v := New([]int{1, 2, 3})
+	stale := v
+	if err := ch.Send(v); err != nil {
+		t.Fatal(err)
+	}
+	// Sender's handle is dead the moment Send returns.
+	if _, err := stale.Borrow(); !errors.Is(err, ErrMoved) {
+		t.Fatalf("sender handle: %v, want ErrMoved", err)
+	}
+	got, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.With(func(s []int) {
+		if len(s) != 3 {
+			t.Errorf("len = %d", len(s))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanSendMovedHandleFails(t *testing.T) {
+	ch := NewChan[int](1)
+	v := New(1)
+	_ = v.MustMove()
+	if err := ch.Send(v); !errors.Is(err, ErrMoved) {
+		t.Fatalf("err = %v", err)
+	}
+	if ch.Len() != 0 {
+		t.Fatal("dead value enqueued")
+	}
+}
+
+func TestChanCloseSemantics(t *testing.T) {
+	ch := NewChan[int](2)
+	if err := ch.Send(New(1)); err != nil {
+		t.Fatal(err)
+	}
+	ch.Close()
+	ch.Close() // idempotent
+	if err := ch.Send(New(2)); !errors.Is(err, ErrChanClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	// Drain the queued value, then get ErrChanClosed.
+	v, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.MustInto(); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	if _, err := ch.Recv(); !errors.Is(err, ErrChanClosed) {
+		t.Fatalf("recv after drain: %v", err)
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	ch := NewChan[int](1)
+	if _, ok, err := ch.TryRecv(); ok || err != nil {
+		t.Fatalf("empty TryRecv = %v %v", ok, err)
+	}
+	_ = ch.Send(New(7))
+	v, ok, err := ch.TryRecv()
+	if !ok || err != nil {
+		t.Fatalf("TryRecv = %v %v", ok, err)
+	}
+	if v.MustInto() != 7 {
+		t.Fatal("wrong value")
+	}
+	ch.Close()
+	if _, ok, err := ch.TryRecv(); ok || !errors.Is(err, ErrChanClosed) {
+		t.Fatalf("closed TryRecv = %v %v", ok, err)
+	}
+}
+
+func TestChanPipelineOfGoroutines(t *testing.T) {
+	// A three-stage goroutine pipeline passing one owned buffer through:
+	// at any instant exactly one stage can access it.
+	a := NewChan[[]int](0)
+	b := NewChan[[]int](0)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // stage 2: double every element
+		defer wg.Done()
+		for {
+			v, err := a.Recv()
+			if err != nil {
+				b.Close()
+				return
+			}
+			if err := v.WithMut(func(s *[]int) {
+				for i := range *s {
+					(*s)[i] *= 2
+				}
+			}); err != nil {
+				t.Error(err)
+			}
+			if err := b.Send(v); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	results := make(chan int, 1)
+	go func() { // stage 3: sum
+		defer wg.Done()
+		total := 0
+		for {
+			v, err := b.Recv()
+			if err != nil {
+				results <- total
+				return
+			}
+			v.With(func(s []int) {
+				for _, x := range s {
+					total += x
+				}
+			})
+		}
+	}()
+	// Stage 1: producer.
+	for i := 0; i < 10; i++ {
+		if err := a.Send(New([]int{i, i + 1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	wg.Wait()
+	// sum over i of 2*(i + i+1) = 2*(2i+1) summed i=0..9 = 2*100 = 200.
+	if got := <-results; got != 200 {
+		t.Fatalf("total = %d, want 200", got)
+	}
+}
+
+func TestChanConcurrentSendersExactlyOnce(t *testing.T) {
+	ch := NewChan[int](64)
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if err := ch.Send(New(k)); err != nil {
+				t.Errorf("send %d: %v", k, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ch.Close()
+	seen := make(map[int]bool)
+	for {
+		v, err := ch.Recv()
+		if err != nil {
+			break
+		}
+		k := v.MustInto()
+		if seen[k] {
+			t.Fatalf("value %d received twice", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("received %d values, want %d", len(seen), n)
+	}
+}

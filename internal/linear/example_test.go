@@ -1,0 +1,65 @@
+package linear_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linear"
+)
+
+// Example mirrors the paper's §2 take/borrow listing: a move consumes the
+// binding, a borrow preserves it.
+func Example() {
+	take := func(v linear.Owned[[]int]) { _ = v.Drop() }
+	borrow := func(v *linear.Ref[[]int]) { _ = v.Value() }
+
+	v1 := linear.New([]int{1, 2, 3})
+	v2 := linear.New([]int{1, 2, 3})
+
+	moved, _ := v1.Move()
+	take(moved)
+	_, err := v1.Borrow()
+	fmt.Println("v1 after take:", errors.Is(err, linear.ErrMoved))
+
+	r := v2.MustBorrow()
+	borrow(r)
+	_ = r.Release()
+	fmt.Println("v2 after borrow:", v2.Valid())
+	// Output:
+	// v1 after take: true
+	// v2 after borrow: true
+}
+
+// ExampleRc shows the sanctioned aliasing escape hatch with weak handles,
+// the machinery the SFI reference tables are built from.
+func ExampleRc() {
+	rc := linear.NewRc("shared config")
+	weak := rc.Downgrade()
+
+	if s, ok := weak.Upgrade(); ok {
+		fmt.Println("upgraded:", s.Get())
+		_ = s.Drop()
+	}
+	_ = rc.Drop() // last strong handle: the value dies
+	_, ok := weak.Upgrade()
+	fmt.Println("upgrade after drop:", ok)
+	// Output:
+	// upgraded: shared config
+	// upgrade after drop: false
+}
+
+// ExampleChan demonstrates ownership transfer through a channel: the
+// sender's handle dies at Send, as if passed to a function.
+func ExampleChan() {
+	ch := linear.NewChan[string](1)
+	msg := linear.New("exclusive payload")
+	_ = ch.Send(msg)
+	_, err := msg.Borrow()
+	fmt.Println("sender access:", !errors.Is(err, linear.ErrMoved))
+
+	got, _ := ch.Recv()
+	fmt.Println("receiver got:", got.MustInto())
+	// Output:
+	// sender access: false
+	// receiver got: exclusive payload
+}

@@ -1,0 +1,65 @@
+package linear
+
+import "sync"
+
+// LinearMutex enforces single ownership dynamically for a shared resource,
+// the pattern the paper describes for essential write aliasing ("wrapping
+// the object with the Mutex type"). The value is only reachable through a
+// Guard, so exclusive access is structural, not advisory — and, as in §5,
+// the aliasing+locking is explicit in the containing type's signature, so
+// the checkpoint engine can treat it specially (lock, snapshot, unlock).
+type LinearMutex[T any] struct {
+	mu  sync.Mutex
+	val T
+}
+
+// NewMutex wraps v in a LinearMutex.
+func NewMutex[T any](v T) *LinearMutex[T] {
+	return &LinearMutex[T]{val: v}
+}
+
+// Lock acquires exclusive ownership and returns a guard. The guard must be
+// Unlocked; the value is inaccessible without one.
+func (m *LinearMutex[T]) Lock() *Guard[T] {
+	m.mu.Lock()
+	return &Guard[T]{m: m}
+}
+
+// TryLock attempts to acquire the lock without blocking.
+func (m *LinearMutex[T]) TryLock() (*Guard[T], bool) {
+	if !m.mu.TryLock() {
+		return nil, false
+	}
+	return &Guard[T]{m: m}, true
+}
+
+// With runs fn with exclusive access, handling lock/unlock.
+func (m *LinearMutex[T]) With(fn func(*T)) {
+	g := m.Lock()
+	defer g.Unlock()
+	fn(g.Value())
+}
+
+// Guard is an exclusive handle to the value inside a LinearMutex.
+type Guard[T any] struct {
+	m    *LinearMutex[T]
+	done bool
+}
+
+// Value returns a pointer to the guarded value. It panics after Unlock —
+// the dynamic analogue of a guard lifetime expiring.
+func (g *Guard[T]) Value() *T {
+	if g.done {
+		panic("linear: use of guard after Unlock")
+	}
+	return &g.m.val
+}
+
+// Unlock releases exclusive ownership. Unlocking twice panics.
+func (g *Guard[T]) Unlock() {
+	if g.done {
+		panic("linear: double Unlock of guard")
+	}
+	g.done = true
+	g.m.mu.Unlock()
+}

@@ -1,0 +1,247 @@
+package linear
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the explicit-aliasing escape hatch of the ownership
+// model: reference-counted shared values (the paper's Rc/Arc) and weak
+// handles (std::rc::Weak), which the SFI reference tables (§3) and the
+// checkpointing library (§5) build on.
+//
+// Both Rc and Arc here use atomic counts — Go cannot statically confine a
+// value to one goroutine the way Rust confines non-Send types to one
+// thread — but they remain distinct types so that code, like the paper's,
+// states its sharing intent in the type. Each box carries a one-word mark
+// usable by graph-traversal clients; §5's checkpointing stores its
+// "already checkpointed this epoch" flag there, which is exactly the
+// paper's custom Checkpointable impl for Rc.
+
+// rcBox is the shared allocation behind Rc/Arc/Weak handles.
+type rcBox[T any] struct {
+	strong atomic.Int64
+	weak   atomic.Int64 // weak handles + 1 implicit ref held by strong>0
+	mark   atomic.Uint64
+	mu     sync.Mutex // guards val for LockedArc-style access
+	val    T
+}
+
+// Rc is a reference-counted shared immutable value. Aliasing through Rc is
+// the only sanctioned aliasing in the model, and — crucially for §5 — it
+// is visible in the type signature of any structure containing it.
+type Rc[T any] struct {
+	box *rcBox[T]
+}
+
+// NewRc allocates a new shared value with strong count 1.
+func NewRc[T any](v T) Rc[T] {
+	b := &rcBox[T]{val: v}
+	b.strong.Store(1)
+	b.weak.Store(1)
+	return Rc[T]{box: b}
+}
+
+// Clone creates an additional strong handle to the same value.
+func (r Rc[T]) Clone() Rc[T] {
+	if r.box == nil {
+		panic("linear: Clone of zero Rc")
+	}
+	if r.box.strong.Add(1) <= 1 {
+		panic("linear: Clone of dead Rc")
+	}
+	return Rc[T]{box: r.box}
+}
+
+// Get returns the shared value. Rc values are immutable by convention;
+// interior mutability requires LinearMutex (see mutex.go).
+func (r Rc[T]) Get() T {
+	if r.box == nil {
+		panic("linear: Get on zero Rc")
+	}
+	return r.box.val
+}
+
+// Ptr returns a pointer to the shared value. It is exported for the
+// checkpoint engine, which needs object identity to rebuild alias
+// structure; ordinary clients should use Get.
+func (r Rc[T]) Ptr() *T {
+	if r.box == nil {
+		return nil
+	}
+	return &r.box.val
+}
+
+// StrongCount reports the current number of strong handles.
+func (r Rc[T]) StrongCount() int64 {
+	if r.box == nil {
+		return 0
+	}
+	return r.box.strong.Load()
+}
+
+// WeakCount reports the current number of weak handles.
+func (r Rc[T]) WeakCount() int64 {
+	if r.box == nil {
+		return 0
+	}
+	n := r.box.weak.Load() - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Drop releases one strong handle. When the last strong handle is
+// dropped the value is cleared; outstanding weak handles can no longer
+// upgrade. Dropping a zero or already-dead handle is a violation.
+func (r Rc[T]) Drop() error {
+	const op = "Rc.Drop"
+	if r.box == nil {
+		return violation(op, ErrDropped)
+	}
+	for {
+		n := r.box.strong.Load()
+		if n <= 0 {
+			return violation(op, ErrDropped)
+		}
+		if r.box.strong.CompareAndSwap(n, n-1) {
+			if n == 1 {
+				// Last strong ref: clear the value (destructor) and
+				// release the implicit weak ref held by the strong set.
+				var z T
+				r.box.mu.Lock()
+				r.box.val = z
+				r.box.mu.Unlock()
+				r.box.weak.Add(-1)
+			}
+			return nil
+		}
+	}
+}
+
+// Alive reports whether the value is still strongly referenced.
+func (r Rc[T]) Alive() bool {
+	return r.box != nil && r.box.strong.Load() > 0
+}
+
+// Downgrade creates a weak handle that does not keep the value alive.
+func (r Rc[T]) Downgrade() Weak[T] {
+	if r.box == nil {
+		panic("linear: Downgrade of zero Rc")
+	}
+	r.box.weak.Add(1)
+	return Weak[T]{box: r.box}
+}
+
+// Mark returns the traversal mark word stored in the shared box.
+func (r Rc[T]) Mark() uint64 {
+	if r.box == nil {
+		return 0
+	}
+	return r.box.mark.Load()
+}
+
+// SetMarkIf atomically sets the mark word to next if it currently holds
+// old, reporting whether the swap happened. Checkpointing (§5) uses the
+// mark as its per-epoch "first visit" flag: the first visitor in an epoch
+// wins the CAS and copies the object; later visitors reuse the copy.
+func (r Rc[T]) SetMarkIf(old, next uint64) bool {
+	if r.box == nil {
+		return false
+	}
+	return r.box.mark.CompareAndSwap(old, next)
+}
+
+// SameBox reports whether two handles alias the same allocation.
+func (r Rc[T]) SameBox(o Rc[T]) bool { return r.box == o.box }
+
+// Weak is a non-owning handle to an Rc/Arc allocation: it observes the
+// value without keeping it alive and must be upgraded before use. The SFI
+// reference tables hand exactly these to client domains so that revoking
+// an entry makes all outstanding remote references fail closed.
+type Weak[T any] struct {
+	box *rcBox[T]
+}
+
+// Upgrade attempts to obtain a strong handle. It fails (ok=false) if the
+// last strong handle has been dropped — e.g. the domain revoked the
+// reference or was torn down for recovery.
+func (w Weak[T]) Upgrade() (Rc[T], bool) {
+	if w.box == nil {
+		return Rc[T]{}, false
+	}
+	for {
+		n := w.box.strong.Load()
+		if n <= 0 {
+			return Rc[T]{}, false
+		}
+		if w.box.strong.CompareAndSwap(n, n+1) {
+			return Rc[T]{box: w.box}, true
+		}
+	}
+}
+
+// Alive reports whether an upgrade would currently succeed.
+func (w Weak[T]) Alive() bool {
+	return w.box != nil && w.box.strong.Load() > 0
+}
+
+// Drop releases the weak handle. Safe to call once per handle.
+func (w Weak[T]) Drop() {
+	if w.box != nil {
+		w.box.weak.Add(-1)
+	}
+}
+
+// Arc is an atomically reference-counted shared value for cross-goroutine
+// sharing. Operationally identical to Rc in this runtime model (both use
+// atomics under Go's memory model), it exists as a distinct type so that
+// thread-crossing sharing is explicit in signatures, as in the paper.
+type Arc[T any] struct {
+	rc Rc[T]
+}
+
+// NewArc allocates a new atomically shared value.
+func NewArc[T any](v T) Arc[T] { return Arc[T]{rc: NewRc(v)} }
+
+// Clone creates an additional strong handle.
+func (a Arc[T]) Clone() Arc[T] { return Arc[T]{rc: a.rc.Clone()} }
+
+// Get returns the shared value.
+func (a Arc[T]) Get() T { return a.rc.Get() }
+
+// Ptr returns a pointer to the shared value (for the checkpoint engine).
+func (a Arc[T]) Ptr() *T { return a.rc.Ptr() }
+
+// StrongCount reports the number of strong handles.
+func (a Arc[T]) StrongCount() int64 { return a.rc.StrongCount() }
+
+// Drop releases one strong handle.
+func (a Arc[T]) Drop() error { return a.rc.Drop() }
+
+// Alive reports whether the value is still strongly referenced.
+func (a Arc[T]) Alive() bool { return a.rc.Alive() }
+
+// Downgrade creates a weak handle.
+func (a Arc[T]) Downgrade() Weak[T] { return a.rc.Downgrade() }
+
+// Mark returns the traversal mark word.
+func (a Arc[T]) Mark() uint64 { return a.rc.Mark() }
+
+// SetMarkIf atomically CASes the traversal mark word.
+func (a Arc[T]) SetMarkIf(old, next uint64) bool { return a.rc.SetMarkIf(old, next) }
+
+// SameBox reports whether two handles alias the same allocation.
+func (a Arc[T]) SameBox(o Arc[T]) bool { return a.rc.SameBox(o.rc) }
+
+// WithLock runs fn with the box's internal mutex held, providing the
+// Arc<Mutex<T>> pattern for sanctioned shared mutation.
+func (a Arc[T]) WithLock(fn func(*T)) {
+	if a.rc.box == nil {
+		panic("linear: WithLock on zero Arc")
+	}
+	a.rc.box.mu.Lock()
+	defer a.rc.box.mu.Unlock()
+	fn(&a.rc.box.val)
+}

@@ -1,0 +1,254 @@
+// Package maglev implements Google's Maglev consistent-hashing load
+// balancer (Eisenbud et al., NSDI '16), the "realistic, but light-weight,
+// network function" whose per-batch processing cost the paper's Figure 2
+// compares isolation overhead against.
+//
+// The implementation follows the paper's NetBricks port: lookup-table
+// construction with per-backend permutations, 5-tuple flow hashing, and a
+// connection table providing per-flow stickiness across backend set
+// changes.
+package maglev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/netbricks"
+	"repro/internal/packet"
+)
+
+// DefaultTableSize is a prime sized for good distribution with tens of
+// backends (Maglev's small table size; the paper's deployment uses 65537).
+const DefaultTableSize = 65537
+
+// Errors returned by the balancer.
+var (
+	ErrNoBackends  = errors.New("maglev: no backends")
+	ErrNotPrime    = errors.New("maglev: table size must be prime")
+	ErrDupBackend  = errors.New("maglev: duplicate backend name")
+	ErrUnparsed    = errors.New("maglev: packet not parsed")
+	ErrNoneHealthy = errors.New("maglev: all backends unhealthy")
+)
+
+// Backend is a service endpoint packets are steered to.
+type Backend struct {
+	Name string
+	IP   packet.IPv4
+}
+
+// hash1/hash2 are independent FNV-1a-style hashes over a string, used for
+// the offset and skip of each backend's permutation.
+func hash1(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hash2(s string) uint64 {
+	var h uint64 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = h*16777619 + uint64(s[i])
+	}
+	// Finalize to decorrelate from hash1 on short keys.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is an immutable Maglev lookup table over a backend set.
+type Table struct {
+	backends []Backend
+	entries  []int32 // slot -> backend index
+}
+
+// NewTable builds the lookup table using Maglev's permutation-population
+// algorithm. size must be prime and larger than the number of backends.
+func NewTable(backends []Backend, size int) (*Table, error) {
+	if len(backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	if !isPrime(size) {
+		return nil, fmt.Errorf("size %d: %w", size, ErrNotPrime)
+	}
+	if size <= len(backends) {
+		return nil, fmt.Errorf("maglev: table size %d must exceed backend count %d", size, len(backends))
+	}
+	names := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if names[b.Name] {
+			return nil, fmt.Errorf("%q: %w", b.Name, ErrDupBackend)
+		}
+		names[b.Name] = true
+	}
+
+	m := uint64(size)
+	n := len(backends)
+	offset := make([]uint64, n)
+	skip := make([]uint64, n)
+	nextIdx := make([]uint64, n)
+	for i, b := range backends {
+		offset[i] = hash1(b.Name) % m
+		skip[i] = hash2(b.Name)%(m-1) + 1
+	}
+
+	entries := make([]int32, size)
+	for i := range entries {
+		entries[i] = -1
+	}
+	filled := 0
+	// Round-robin: each backend claims the next unclaimed slot of its
+	// permutation until the table is full. Terminates because size is
+	// prime, so every permutation visits every slot.
+	for filled < size {
+		for i := 0; i < n && filled < size; i++ {
+			var slot uint64
+			for {
+				slot = (offset[i] + nextIdx[i]*skip[i]) % m
+				nextIdx[i]++
+				if entries[slot] == -1 {
+					break
+				}
+			}
+			entries[slot] = int32(i)
+			filled++
+		}
+	}
+	return &Table{backends: append([]Backend(nil), backends...), entries: entries}, nil
+}
+
+// Size returns the number of table slots.
+func (t *Table) Size() int { return len(t.entries) }
+
+// Backends returns the backend set the table was built over.
+func (t *Table) Backends() []Backend { return t.backends }
+
+// Lookup maps a flow hash to a backend.
+func (t *Table) Lookup(flowHash uint64) Backend {
+	return t.backends[t.entries[flowHash%uint64(len(t.entries))]]
+}
+
+// Distribution counts slots per backend, for balance assertions.
+func (t *Table) Distribution() map[string]int {
+	d := make(map[string]int, len(t.backends))
+	for _, e := range t.entries {
+		d[t.backends[e].Name]++
+	}
+	return d
+}
+
+// Balancer is the full load balancer: a lookup table plus a connection
+// table giving established flows affinity to their original backend even
+// after the backend set changes.
+type Balancer struct {
+	mu    sync.RWMutex
+	table *Table
+	conns map[uint64]Backend
+
+	// Stats.
+	hits   uint64 // connection-table hits
+	misses uint64 // new flows steered by the lookup table
+}
+
+// NewBalancer creates a balancer over the given backends.
+func NewBalancer(backends []Backend, tableSize int) (*Balancer, error) {
+	t, err := NewTable(backends, tableSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Balancer{table: t, conns: make(map[uint64]Backend)}, nil
+}
+
+// Pick returns the backend for the flow, consulting the connection table
+// first (Maglev's connection tracking) and falling back to the consistent
+// hash for new flows.
+func (b *Balancer) Pick(t packet.FiveTuple) Backend {
+	h := t.Hash()
+	b.mu.RLock()
+	be, ok := b.conns[h]
+	b.mu.RUnlock()
+	if ok {
+		b.mu.Lock()
+		b.hits++
+		b.mu.Unlock()
+		return be
+	}
+	be = b.table.Lookup(h)
+	b.mu.Lock()
+	b.conns[h] = be
+	b.misses++
+	b.mu.Unlock()
+	return be
+}
+
+// UpdateBackends swaps in a new backend set, rebuilding the lookup table.
+// Established flows keep flowing to their recorded backend (connection
+// stickiness); only new flows see the new table.
+func (b *Balancer) UpdateBackends(backends []Backend) error {
+	nt, err := NewTable(backends, b.table.Size())
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.table = nt
+	b.mu.Unlock()
+	return nil
+}
+
+// ConnCount reports tracked connections.
+func (b *Balancer) ConnCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.conns)
+}
+
+// Stats reports connection-table hits and misses.
+func (b *Balancer) Stats() (hits, misses uint64) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.hits, b.misses
+}
+
+// Operator adapts the balancer into a NetBricks pipeline stage: for each
+// parsed packet it picks a backend, rewrites the destination IP, and tags
+// the packet with the backend index — the per-batch work measured as
+// "maglev" in Figure 2.
+type Operator struct {
+	LB *Balancer
+}
+
+// Name implements netbricks.Operator.
+func (Operator) Name() string { return "maglev" }
+
+// ProcessBatch implements netbricks.Operator.
+func (o Operator) ProcessBatch(batch *netbricks.Batch) error {
+	for _, p := range batch.Pkts {
+		if !p.Parsed() {
+			if err := p.Parse(); err != nil {
+				return fmt.Errorf("%w: %v", ErrUnparsed, err)
+			}
+		}
+		be := o.LB.Pick(p.Tuple())
+		p.SetDstIP(be.IP)
+		p.UserTag = uint64(be.IP)
+	}
+	return nil
+}
+
+var _ netbricks.Operator = Operator{}

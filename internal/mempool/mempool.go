@@ -1,0 +1,197 @@
+// Package mempool provides DPDK-style fixed-size object pools and
+// single-producer/single-consumer descriptor rings.
+//
+// DPDK's datapath allocates packet buffers (mbufs) from per-port mempools
+// and moves descriptors through lockless rings; the simulated NIC in
+// internal/dpdk is built on the same primitives so that the benchmarked
+// code path has the same structure (pool get → fill → ring enqueue →
+// pipeline → ring dequeue → pool put) as the paper's testbed.
+package mempool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by pool and ring operations.
+var (
+	ErrExhausted = errors.New("mempool: pool exhausted")
+	ErrRingFull  = errors.New("mempool: ring full")
+	ErrRingEmpty = errors.New("mempool: ring empty")
+)
+
+// Pool is a fixed-capacity free list of preallocated objects. Get/Put are
+// safe for concurrent use.
+type Pool[T any] struct {
+	mu    sync.Mutex
+	free  []*T
+	alloc func() *T
+	cap   int
+
+	gets   atomic.Uint64
+	puts   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewPool preallocates capacity objects using alloc.
+func NewPool[T any](capacity int, alloc func() *T) *Pool[T] {
+	if capacity <= 0 {
+		panic("mempool: capacity must be positive")
+	}
+	p := &Pool[T]{alloc: alloc, cap: capacity}
+	p.free = make([]*T, 0, capacity)
+	for i := 0; i < capacity; i++ {
+		p.free = append(p.free, alloc())
+	}
+	return p
+}
+
+// Get removes an object from the pool. It fails with ErrExhausted when the
+// pool is empty — like a real mempool, it never over-allocates, which is
+// what gives NF frameworks their bounded memory footprint.
+func (p *Pool[T]) Get() (*T, error) {
+	p.mu.Lock()
+	n := len(p.free)
+	if n == 0 {
+		p.mu.Unlock()
+		p.misses.Add(1)
+		return nil, ErrExhausted
+	}
+	obj := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+	p.gets.Add(1)
+	return obj, nil
+}
+
+// Put returns an object to the pool. Returning more objects than capacity
+// indicates a double-free and panics.
+func (p *Pool[T]) Put(obj *T) {
+	if obj == nil {
+		panic("mempool: Put(nil)")
+	}
+	p.mu.Lock()
+	if len(p.free) >= p.cap {
+		p.mu.Unlock()
+		panic("mempool: Put beyond capacity (double free?)")
+	}
+	p.free = append(p.free, obj)
+	p.mu.Unlock()
+	p.puts.Add(1)
+}
+
+// Available reports how many objects are currently free.
+func (p *Pool[T]) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Capacity reports the pool's fixed capacity.
+func (p *Pool[T]) Capacity() int { return p.cap }
+
+// Stats reports cumulative gets, puts, and allocation misses.
+func (p *Pool[T]) Stats() (gets, puts, misses uint64) {
+	return p.gets.Load(), p.puts.Load(), p.misses.Load()
+}
+
+// Ring is a bounded FIFO of descriptors, modeled on rte_ring. This
+// implementation uses a mutex rather than the lockless compare-and-swap
+// scheme — the simulation measures pipeline CPU cost, not ring
+// scalability — but keeps DPDK's power-of-two sizing and burst API.
+type Ring[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	head  int // dequeue position
+	tail  int // enqueue position
+	count int
+}
+
+// NewRing creates a ring with the given capacity, rounded up to a power of
+// two (as rte_ring requires).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic("mempool: ring capacity must be positive")
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring[T]{buf: make([]T, size)}
+}
+
+// Capacity reports the usable capacity of the ring.
+func (r *Ring[T]) Capacity() int { return len(r.buf) }
+
+// Len reports the number of queued descriptors.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Enqueue adds one descriptor.
+func (r *Ring[T]) Enqueue(v T) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == len(r.buf) {
+		return ErrRingFull
+	}
+	r.buf[r.tail] = v
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.count++
+	return nil
+}
+
+// Dequeue removes one descriptor.
+func (r *Ring[T]) Dequeue() (T, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var zero T
+	if r.count == 0 {
+		return zero, ErrRingEmpty
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.count--
+	return v, nil
+}
+
+// EnqueueBurst adds up to len(vs) descriptors, returning how many fit
+// (DPDK's rte_ring_enqueue_burst semantics).
+func (r *Ring[T]) EnqueueBurst(vs []T) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, v := range vs {
+		if r.count == len(r.buf) {
+			break
+		}
+		r.buf[r.tail] = v
+		r.tail = (r.tail + 1) & (len(r.buf) - 1)
+		r.count++
+		n++
+	}
+	return n
+}
+
+// DequeueBurst removes up to len(out) descriptors into out, returning the
+// count (rte_ring_dequeue_burst semantics — this is the batch fetch the
+// paper's pipeline performs each iteration).
+func (r *Ring[T]) DequeueBurst(out []T) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	var zero T
+	for n < len(out) && r.count > 0 {
+		out[n] = r.buf[r.head]
+		r.buf[r.head] = zero
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+		r.count--
+		n++
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package mempool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolGetPut(t *testing.T) {
+	p := NewPool(4, func() *int { v := 0; return &v })
+	if p.Available() != 4 || p.Capacity() != 4 {
+		t.Fatalf("avail=%d cap=%d", p.Available(), p.Capacity())
+	}
+	objs := make([]*int, 0, 4)
+	for i := 0; i < 4; i++ {
+		o, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	if _, err := p.Get(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	for _, o := range objs {
+		p.Put(o)
+	}
+	if p.Available() != 4 {
+		t.Fatalf("avail = %d after puts", p.Available())
+	}
+	gets, puts, misses := p.Stats()
+	if gets != 4 || puts != 4 || misses != 1 {
+		t.Fatalf("stats = %d/%d/%d", gets, puts, misses)
+	}
+}
+
+func TestPoolPutBeyondCapacityPanics(t *testing.T) {
+	p := NewPool(1, func() *int { v := 0; return &v })
+	extra := new(int)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-Put did not panic")
+		}
+	}()
+	p.Put(extra)
+}
+
+func TestPoolPutNilPanics(t *testing.T) {
+	p := NewPool(1, func() *int { v := 0; return &v })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put(nil) did not panic")
+		}
+	}()
+	p.Put(nil)
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(64, func() *int { v := 0; return &v })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				o, err := p.Get()
+				if err != nil {
+					continue
+				}
+				p.Put(o)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 64 {
+		t.Fatalf("leaked objects: avail = %d", p.Available())
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 1; i <= 4; i++ {
+		if err := r.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Enqueue(5); !errors.Is(err, ErrRingFull) {
+		t.Fatalf("err = %v, want ErrRingFull", err)
+	}
+	for i := 1; i <= 4; i++ {
+		v, err := r.Dequeue()
+		if err != nil || v != i {
+			t.Fatalf("Dequeue = (%d, %v), want (%d, nil)", v, err, i)
+		}
+	}
+	if _, err := r.Dequeue(); !errors.Is(err, ErrRingEmpty) {
+		t.Fatalf("err = %v, want ErrRingEmpty", err)
+	}
+}
+
+func TestRingRoundsUpToPowerOfTwo(t *testing.T) {
+	r := NewRing[int](5)
+	if r.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", r.Capacity())
+	}
+}
+
+func TestRingBurst(t *testing.T) {
+	r := NewRing[int](8)
+	in := []int{1, 2, 3, 4, 5, 6}
+	if n := r.EnqueueBurst(in); n != 6 {
+		t.Fatalf("EnqueueBurst = %d", n)
+	}
+	if n := r.EnqueueBurst([]int{7, 8, 9}); n != 2 {
+		t.Fatalf("partial EnqueueBurst = %d, want 2", n)
+	}
+	out := make([]int, 16)
+	if n := r.DequeueBurst(out); n != 8 {
+		t.Fatalf("DequeueBurst = %d, want 8", n)
+	}
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	for i, v := range want {
+		if out[i] != v {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], v)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+// Property: any interleaving of enqueues and dequeues preserves FIFO order
+// and never loses or duplicates items.
+func TestQuickRingFIFOOrder(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := NewRing[int](16)
+		next := 0
+		expect := 0
+		for _, enq := range ops {
+			if enq {
+				if err := r.Enqueue(next); err == nil {
+					next++
+				}
+			} else {
+				v, err := r.Dequeue()
+				if err == nil {
+					if v != expect {
+						return false
+					}
+					expect++
+				}
+			}
+		}
+		// Drain.
+		for {
+			v, err := r.Dequeue()
+			if err != nil {
+				break
+			}
+			if v != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: burst and single-op paths agree on the wrap-around ring.
+func TestQuickRingBurstConsistency(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		r := NewRing[int](32)
+		next, expect := 0, 0
+		for _, s := range sizes {
+			n := int(s % 40)
+			batch := make([]int, n)
+			for i := range batch {
+				batch[i] = next + i
+			}
+			accepted := r.EnqueueBurst(batch)
+			next += accepted
+			out := make([]int, n)
+			got := r.DequeueBurst(out)
+			for i := 0; i < got; i++ {
+				if out[i] != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	p := NewPool(1024, func() *int { v := 0; return &v })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o, _ := p.Get()
+		p.Put(o)
+	}
+}
+
+func BenchmarkRingEnqueueDequeue(b *testing.B) {
+	r := NewRing[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Enqueue(i)
+		_, _ = r.Dequeue()
+	}
+}

@@ -1,0 +1,447 @@
+package minirust
+
+import "fmt"
+
+// BorrowError is an ownership-discipline violation: use after move, move
+// out of borrowed content, conflicting uses in one call, or a move inside
+// a loop. These are the errors rustc's borrow checker reports, and they
+// are exactly what defeats the paper's §4 alias-laundering exploit: line
+// 17's println!(nonsec) is rejected because nonsec was moved at line 14.
+type BorrowError struct {
+	Pos     Pos
+	Msg     string
+	MovedAt Pos // position of the move, when relevant
+}
+
+func (e *BorrowError) Error() string {
+	if e.MovedAt != (Pos{}) {
+		return fmt.Sprintf("%s: borrow check error: %s (value moved at %s)", e.Pos, e.Msg, e.MovedAt)
+	}
+	return fmt.Sprintf("%s: borrow check error: %s", e.Pos, e.Msg)
+}
+
+// moveState tracks the ownership state of one binding.
+type moveState int
+
+const (
+	live moveState = iota
+	moved
+	maybeMoved // moved on some but not all paths
+)
+
+// binding is the borrow checker's per-variable state.
+type binding struct {
+	typ     Type
+	state   moveState
+	movedAt Pos
+}
+
+// ownEnv is a flow-sensitive environment, copied at branches.
+type ownEnv map[string]*binding
+
+func (e ownEnv) clone() ownEnv {
+	out := make(ownEnv, len(e))
+	for k, v := range e {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+// join merges two branch results into the conservative post-state.
+func (e ownEnv) join(o ownEnv) ownEnv {
+	out := make(ownEnv, len(e))
+	for k, a := range e {
+		b, ok := o[k]
+		if !ok {
+			continue // declared in one branch only: out of scope after
+		}
+		cp := *a
+		if a.state != b.state {
+			cp.state = maybeMoved
+			if a.state == moved || a.state == maybeMoved {
+				cp.movedAt = a.movedAt
+			} else {
+				cp.movedAt = b.movedAt
+			}
+		}
+		out[k] = &cp
+	}
+	return out
+}
+
+// BorrowCheck verifies the ownership discipline of every function in a
+// type-checked program.
+func BorrowCheck(c *Checked) error {
+	for _, name := range c.Prog.Order {
+		bc := &borrowChecker{checked: c}
+		if err := bc.checkFunc(c.Prog.Funcs[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type borrowChecker struct {
+	checked *Checked
+	// stmtMoves/stmtBorrows detect conflicts within a single statement
+	// (f(x, &x) or f(x, x)).
+	stmtMoves   map[string]Pos
+	stmtBorrows map[string]Pos
+}
+
+func (bc *borrowChecker) errf(pos Pos, format string, args ...any) error {
+	return &BorrowError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (bc *borrowChecker) checkFunc(f *FuncDef) error {
+	env := make(ownEnv)
+	for _, p := range f.Params {
+		env[p.Name] = &binding{typ: p.Type, state: live}
+	}
+	_, _, err := bc.checkBlock(f.Body, env)
+	return err
+}
+
+// checkBlock analyzes the statements, stopping at one that definitely
+// diverges (returns on every path). The bool reports that divergence so
+// branch joins can ignore diverged arms, as rustc does.
+func (bc *borrowChecker) checkBlock(stmts []Stmt, env ownEnv) (ownEnv, bool, error) {
+	for _, s := range stmts {
+		var term bool
+		var err error
+		env, term, err = bc.checkStmt(s, env)
+		if err != nil {
+			return nil, false, err
+		}
+		if term {
+			return env, true, nil
+		}
+	}
+	return env, false, nil
+}
+
+func (bc *borrowChecker) beginStmt() {
+	bc.stmtMoves = make(map[string]Pos)
+	bc.stmtBorrows = make(map[string]Pos)
+}
+
+func (bc *borrowChecker) checkStmt(s Stmt, env ownEnv) (ownEnv, bool, error) {
+	switch v := s.(type) {
+	case *LetStmt:
+		bc.beginStmt()
+		if err := bc.useExpr(v.Init, env, true); err != nil {
+			return nil, false, err
+		}
+		env[v.Name] = &binding{typ: v.SetType, state: live}
+		return env, false, nil
+
+	case *AssignStmt:
+		bc.beginStmt()
+		if err := bc.useExpr(v.Value, env, true); err != nil {
+			return nil, false, err
+		}
+		b, ok := env[v.Target.Root]
+		if !ok {
+			return nil, false, bc.errf(v.Pos, "unknown variable %s", v.Target.Root)
+		}
+		if len(v.Target.Path) == 0 {
+			// Whole-variable assignment revives a moved binding, as in
+			// Rust (`x = new_value` after a move is legal for `let mut`).
+			b.state = live
+			return env, false, nil
+		}
+		// Field assignment requires the root to be live.
+		if b.state != live {
+			return nil, false, &BorrowError{Pos: v.Pos, MovedAt: b.movedAt,
+				Msg: fmt.Sprintf("use of moved value %s", v.Target.Root)}
+		}
+		return env, false, nil
+
+	case *ExprStmt:
+		bc.beginStmt()
+		if err := bc.useExpr(v.X, env, true); err != nil {
+			return nil, false, err
+		}
+		return env, false, nil
+
+	case *ReturnStmt:
+		bc.beginStmt()
+		if v.Value != nil {
+			if err := bc.useExpr(v.Value, env, true); err != nil {
+				return nil, false, err
+			}
+		}
+		return env, true, nil
+
+	case *IfStmt:
+		bc.beginStmt()
+		if err := bc.useExpr(v.Cond, env, true); err != nil {
+			return nil, false, err
+		}
+		thenEnv, thenTerm, err := bc.checkBlock(v.Then, env.clone())
+		if err != nil {
+			return nil, false, err
+		}
+		elseEnv := env.clone()
+		elseTerm := false
+		if v.Else != nil {
+			elseEnv, elseTerm, err = bc.checkBlock(v.Else, elseEnv)
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		// A diverged arm contributes nothing to the join (rustc's
+		// behaviour: `if c { return take(v); } take(v)` is legal).
+		switch {
+		case thenTerm && elseTerm:
+			return env, true, nil
+		case thenTerm:
+			return elseEnv, false, nil
+		case elseTerm:
+			return thenEnv, false, nil
+		default:
+			return thenEnv.join(elseEnv), false, nil
+		}
+
+	case *WhileStmt:
+		bc.beginStmt()
+		if err := bc.useExpr(v.Cond, env, true); err != nil {
+			return nil, false, err
+		}
+		// First pass: the loop body from the entry state.
+		once, _, err := bc.checkBlock(v.Body, env.clone())
+		if err != nil {
+			return nil, false, err
+		}
+		// Second pass simulates the next iteration: anything the body
+		// moved is now moved at the top of the loop, so a use reports
+		// "moved in a previous iteration" — rustc's exact behaviour.
+		iter := env.clone().join(once)
+		if _, _, err := bc.checkBlock(v.Body, iter.clone()); err != nil {
+			if be, ok := err.(*BorrowError); ok {
+				be.Msg += " (moved in a previous loop iteration)"
+			}
+			return nil, false, err
+		}
+		// The cond must also survive re-evaluation.
+		bc.beginStmt()
+		if err := bc.useExpr(v.Cond, iter, true); err != nil {
+			return nil, false, err
+		}
+		return env.join(once), false, nil
+	}
+	return nil, false, bc.errf(s.Position(), "unhandled statement")
+}
+
+// useExpr analyzes an expression for ownership effects. byValue reports
+// whether the expression's value is consumed (moved if its type is a move
+// type) rather than merely read.
+func (bc *borrowChecker) useExpr(e Expr, env ownEnv, byValue bool) error {
+	switch v := e.(type) {
+	case *IntLit, *BoolLit, *StrLit:
+		return nil
+
+	case *VecLit:
+		for _, el := range v.Elems {
+			if err := bc.useExpr(el, env, true); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *VarRef:
+		return bc.usePath(v.Name, nil, v.Pos, env, byValue && !bc.checked.TypeOf(v).IsCopy())
+
+	case *FieldAccess:
+		root, path, ok := fieldPath(v)
+		if !ok {
+			// Field of a call result etc.: evaluate inner by value.
+			return bc.useExpr(v.X, env, true)
+		}
+		moves := byValue && !bc.checked.TypeOf(v).IsCopy()
+		if moves {
+			// Moving a field out through a reference is forbidden.
+			if bc.rootedInRef(v, env) {
+				return bc.errf(v.Pos, "cannot move %s out of borrowed content", LValue{Root: root, Path: path})
+			}
+		}
+		return bc.usePath(root, path, v.Pos, env, moves)
+
+	case *BorrowExpr:
+		root, _, ok := exprRoot(v.X)
+		if !ok {
+			return bc.errf(v.Pos, "cannot borrow this expression")
+		}
+		if err := bc.usePath(root, nil, v.Pos, env, false); err != nil {
+			return err
+		}
+		if p, conflict := bc.stmtMoves[root]; conflict {
+			return bc.errf(v.Pos, "cannot borrow %s: it is also moved in this statement (at %s)", root, p)
+		}
+		bc.stmtBorrows[root] = v.Pos
+		return nil
+
+	case *UnaryExpr:
+		return bc.useExpr(v.X, env, true)
+
+	case *BinaryExpr:
+		if err := bc.useExpr(v.L, env, true); err != nil {
+			return err
+		}
+		return bc.useExpr(v.R, env, true)
+
+	case *StructLit:
+		for _, fe := range v.Fields {
+			if err := bc.useExpr(fe, env, true); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *CallExpr:
+		return bc.useCall(v, env)
+
+	case *MethodCall:
+		return bc.useMethodCall(v, env)
+	}
+	return bc.errf(e.Position(), "unhandled expression")
+}
+
+// readOnlyBuiltins read their arguments without consuming them (println!
+// in Rust takes arguments by reference under the hood).
+var readOnlyBuiltins = map[string]bool{
+	"println":          true,
+	"assert":           true,
+	"assert_label_max": true,
+}
+
+func (bc *borrowChecker) useCall(v *CallExpr, env ownEnv) error {
+	if readOnlyBuiltins[v.Name] {
+		for _, a := range v.Args {
+			if err := bc.useExpr(a, env, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Every other callee (builtin or user) consumes by-value arguments;
+	// explicit BorrowExprs handle themselves.
+	for _, a := range v.Args {
+		if err := bc.useExpr(a, env, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bc *borrowChecker) useMethodCall(v *MethodCall, env ownEnv) error {
+	base := bc.checked.TypeOf(v.Recv)
+	for base.IsRef() {
+		base = *base.Ref
+	}
+	f := bc.checked.Prog.Funcs[QualifiedName(base.Name, v.Method)]
+	selfByValue := f != nil && !f.Params[0].Type.IsRef()
+	if selfByValue {
+		if err := bc.useExpr(v.Recv, env, true); err != nil {
+			return err
+		}
+	} else {
+		// &self / &mut self: the receiver is borrowed for the call.
+		if root, _, ok := exprRoot(v.Recv); ok {
+			if err := bc.usePath(root, nil, v.Pos, env, false); err != nil {
+				return err
+			}
+			if p, conflict := bc.stmtMoves[root]; conflict {
+				return bc.errf(v.Pos, "cannot borrow %s for method call: it is also moved in this statement (at %s)", root, p)
+			}
+			bc.stmtBorrows[root] = v.Pos
+		} else if err := bc.useExpr(v.Recv, env, false); err != nil {
+			return err
+		}
+	}
+	for _, a := range v.Args {
+		if err := bc.useExpr(a, env, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// usePath records a use of root (optionally a field path for messages).
+// moves=true consumes the binding.
+func (bc *borrowChecker) usePath(root string, path []string, pos Pos, env ownEnv, moves bool) error {
+	b, ok := env[root]
+	if !ok {
+		return bc.errf(pos, "unknown variable %s", root)
+	}
+	name := LValue{Root: root, Path: path}.String()
+	switch b.state {
+	case moved:
+		return &BorrowError{Pos: pos, MovedAt: b.movedAt,
+			Msg: fmt.Sprintf("use of moved value %s", name)}
+	case maybeMoved:
+		return &BorrowError{Pos: pos, MovedAt: b.movedAt,
+			Msg: fmt.Sprintf("use of possibly-moved value %s (moved on some control-flow path)", name)}
+	}
+	if moves {
+		if p, conflict := bc.stmtBorrows[root]; conflict {
+			return bc.errf(pos, "cannot move %s: it is also borrowed in this statement (at %s)", name, p)
+		}
+		// A second move of the same root within one statement is caught
+		// by the state check above (the first move already marked it).
+		bc.stmtMoves[root] = pos
+		b.state = moved
+		b.movedAt = pos
+	}
+	return nil
+}
+
+// rootedInRef reports whether a field path passes through a reference-
+// typed base (moving out of it would be moving out of borrowed content).
+func (bc *borrowChecker) rootedInRef(e Expr, env ownEnv) bool {
+	switch v := e.(type) {
+	case *VarRef:
+		if b, ok := env[v.Name]; ok {
+			return b.typ.IsRef()
+		}
+		return false
+	case *FieldAccess:
+		if bc.checked.TypeOf(v.X).IsRef() {
+			return true
+		}
+		return bc.rootedInRef(v.X, env)
+	default:
+		return false
+	}
+}
+
+// fieldPath extracts (root, path) from a chain of field accesses over a
+// variable.
+func fieldPath(e *FieldAccess) (string, []string, bool) {
+	var path []string
+	cur := Expr(e)
+	for {
+		switch v := cur.(type) {
+		case *FieldAccess:
+			path = append([]string{v.Field}, path...)
+			cur = v.X
+		case *VarRef:
+			return v.Name, path, true
+		default:
+			return "", nil, false
+		}
+	}
+}
+
+// exprRoot finds the root variable of a place expression.
+func exprRoot(e Expr) (string, []string, bool) {
+	switch v := e.(type) {
+	case *VarRef:
+		return v.Name, nil, true
+	case *FieldAccess:
+		return fieldPath(v)
+	default:
+		return "", nil, false
+	}
+}

@@ -1,0 +1,363 @@
+package minirust
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func borrowCheckSrc(t *testing.T, src string) error {
+	t.Helper()
+	c, err := mustCheck(src)
+	if err != nil {
+		t.Fatalf("front end rejected fixture: %v", err)
+	}
+	return BorrowCheck(c)
+}
+
+func expectBorrowError(t *testing.T, src, want string) *BorrowError {
+	t.Helper()
+	err := borrowCheckSrc(t, src)
+	if err == nil {
+		t.Fatalf("BorrowCheck succeeded, want error containing %q", want)
+	}
+	var be *BorrowError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T (%v)", err, err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want substring %q", err, want)
+	}
+	return be
+}
+
+func TestPaperListingLine17RejectedByBorrowChecker(t *testing.T) {
+	// The paper's aliasing exploit: "line 17 is rejected by the compiler,
+	// as it attempts to access the nonsec variable, whose ownership was
+	// transferred to the append method in line 14."
+	be := expectBorrowError(t, PaperBufferProgram(false, true), "use of moved value nonsec")
+	if be.MovedAt == (Pos{}) {
+		t.Fatal("error does not point at the move site")
+	}
+	if be.MovedAt.Line >= be.Pos.Line {
+		t.Fatalf("move site %v should precede use site %v", be.MovedAt, be.Pos)
+	}
+}
+
+func TestPaperListingWithoutExploitPassesBorrowCheck(t *testing.T) {
+	// Lines 1-16 are ownership-correct (the leak at 16 is an IFC error,
+	// not an ownership error).
+	if err := borrowCheckSrc(t, PaperBufferProgram(true, false)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperIntroExample(t *testing.T) {
+	// The §2 take/borrow example: take(v1) consumes; println(v1) errors.
+	expectBorrowError(t, `
+fn take(v: Vec<i64>) { }
+fn borrow(v: &Vec<i64>) { }
+fn main() {
+    let v1 = vec![1, 2, 3];
+    let v2 = vec![1, 2, 3];
+    take(v1);
+    println(v1);
+}
+`, "use of moved value v1")
+	// And the borrow version is fine.
+	if err := borrowCheckSrc(t, `
+fn borrow(v: &Vec<i64>) { }
+fn main() {
+    let v2 = vec![1, 2, 3];
+    borrow(&v2);
+    println(v2);
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLetMoves(t *testing.T) {
+	expectBorrowError(t, `
+fn main() {
+    let a = vec![1];
+    let b = a;
+    println(a);
+}
+`, "use of moved value a")
+}
+
+func TestCopyTypesDontMove(t *testing.T) {
+	if err := borrowCheckSrc(t, `
+fn f(x: i64) { }
+fn main() {
+    let a = 1;
+    let b = a;
+    f(a);
+    f(a);
+    println(a, b);
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassignmentRevives(t *testing.T) {
+	if err := borrowCheckSrc(t, `
+fn take(v: Vec<i64>) { }
+fn main() {
+    let mut a = vec![1];
+    take(a);
+    a = vec![2];
+    take(a);
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldAssignAfterMoveRejected(t *testing.T) {
+	expectBorrowError(t, `
+struct S { v: Vec<i64> }
+fn take(s: S) { }
+fn main() {
+    let mut s = S { v: vec![1] };
+    take(s);
+    s.v = vec![2];
+}
+`, "use of moved value s")
+}
+
+func TestConditionalMove(t *testing.T) {
+	expectBorrowError(t, `
+fn take(v: Vec<i64>) { }
+fn main(){
+    let c = true;
+    let a = vec![1];
+    if c {
+        take(a);
+    }
+    println(a);
+}
+`, "possibly-moved value a")
+	// Moved in both branches: definitively moved.
+	expectBorrowError(t, `
+fn take(v: Vec<i64>) { }
+fn main(){
+    let c = true;
+    let a = vec![1];
+    if c { take(a); } else { take(a); }
+    println(a);
+}
+`, "use of moved value a")
+	// Moved then revived in both branches: fine.
+	if err := borrowCheckSrc(t, `
+fn take(v: Vec<i64>) { }
+fn main(){
+    let c = true;
+    let mut a = vec![1];
+    if c { take(a); a = vec![2]; } else { take(a); a = vec![3]; }
+    println(a);
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveInLoopRejected(t *testing.T) {
+	be := expectBorrowError(t, `
+fn take(v: Vec<i64>) { }
+fn main(){
+    let a = vec![1];
+    let mut i = 0;
+    while i < 3 {
+        take(a);
+        i = i + 1;
+    }
+}
+`, "possibly-moved value a")
+	if !strings.Contains(be.Msg, "previous loop iteration") {
+		t.Fatalf("msg = %q, want loop-iteration hint", be.Msg)
+	}
+	// Reviving before the next iteration makes it legal.
+	if err := borrowCheckSrc(t, `
+fn take(v: Vec<i64>) { }
+fn main(){
+    let mut a = vec![1];
+    let mut i = 0;
+    while i < 3 {
+        take(a);
+        a = vec![2];
+        i = i + 1;
+    }
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveAndBorrowSameStatement(t *testing.T) {
+	// Move first, borrow second: the move already killed the binding.
+	expectBorrowError(t, `
+fn f(v: Vec<i64>, r: &Vec<i64>) { }
+fn main() {
+    let a = vec![1];
+    f(a, &a);
+}
+`, "use of moved value a")
+	// Borrow first, move second: the intra-statement conflict fires.
+	expectBorrowError(t, `
+fn f(r: &Vec<i64>, v: Vec<i64>) { }
+fn main() {
+    let a = vec![1];
+    f(&a, a);
+}
+`, "also borrowed in this statement")
+}
+
+func TestDoubleMoveSameStatement(t *testing.T) {
+	expectBorrowError(t, `
+fn f(a: Vec<i64>, b: Vec<i64>) { }
+fn main() {
+    let a = vec![1];
+    f(a, a);
+}
+`, "use of moved value a")
+}
+
+func TestMoveOutOfBorrowedContent(t *testing.T) {
+	expectBorrowError(t, `
+struct S { v: Vec<i64> }
+fn take(v: Vec<i64>) { }
+fn steal(s: &mut S) {
+    take(s.v);
+}
+fn main() { }
+`, "cannot move s.v out of borrowed content")
+}
+
+func TestMoveFieldOutOfOwnedAllowedOnce(t *testing.T) {
+	// Moving a field out of an owned struct is a partial move; the whole
+	// variable is then unusable (conservative whole-var model).
+	expectBorrowError(t, `
+struct S { v: Vec<i64> }
+fn take(v: Vec<i64>) { }
+fn main() {
+    let s = S { v: vec![1] };
+    take(s.v);
+    println(s.v);
+}
+`, "use of moved value s.v")
+}
+
+func TestByValueSelfConsumesReceiver(t *testing.T) {
+	expectBorrowError(t, `
+struct S { v: Vec<i64> }
+impl S {
+    fn consume(self) { }
+}
+fn main() {
+    let s = S { v: vec![1] };
+    s.consume();
+    println(s.v);
+}
+`, "use of moved value s")
+}
+
+func TestBorrowingSelfDoesNotConsume(t *testing.T) {
+	if err := borrowCheckSrc(t, `
+struct S { v: Vec<i64> }
+impl S {
+    fn peek(&self) -> i64 { return vec_len(&self.v); }
+    fn grow(&mut self) { vec_push(&mut self.v, 1); }
+}
+fn main() {
+    let mut s = S { v: vec![1] };
+    let a = s.peek();
+    s.grow();
+    let b = s.peek();
+    println(a, b, s.v);
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReturnMoves(t *testing.T) {
+	expectBorrowError(t, `
+fn f() -> Vec<i64> {
+    let v = vec![1];
+    let w = v;
+    return v;
+}
+fn main() { }
+`, "use of moved value v")
+}
+
+func TestMovedValueInWhileCondition(t *testing.T) {
+	expectBorrowError(t, `
+fn take(v: Vec<i64>) -> i64 { return 0; }
+fn main() {
+    let v = vec![1];
+    while take(v) < 3 {
+    }
+}
+`, "use of moved value v")
+}
+
+func TestStructLitAndVecLitMove(t *testing.T) {
+	expectBorrowError(t, `
+struct S { v: Vec<i64> }
+fn main() {
+    let a = vec![1];
+    let s = S { v: a };
+    println(a);
+}
+`, "use of moved value a")
+	expectBorrowError(t, `
+fn main() {
+    let a = vec![1];
+    let vv = vec![a];
+    println(a);
+}
+`, "use of moved value a")
+}
+
+func TestPrintlnDoesNotConsume(t *testing.T) {
+	if err := borrowCheckSrc(t, `
+fn main() {
+    let a = vec![1];
+    println(a);
+    println(a);
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeclassifyConsumes(t *testing.T) {
+	expectBorrowError(t, `
+fn main() {
+    let a = vec![1];
+    let b = declassify(a, "public");
+    println(a);
+}
+`, "use of moved value a")
+}
+
+func TestErrorMentionsMoveSite(t *testing.T) {
+	be := expectBorrowError(t, `
+fn take(v: Vec<i64>) { }
+fn main() {
+    let a = vec![1];
+    take(a);
+    println(a);
+}
+`, "use of moved value a")
+	if be.MovedAt.Line != 5 {
+		t.Fatalf("MovedAt = %v, want line 5", be.MovedAt)
+	}
+	if be.Pos.Line != 6 {
+		t.Fatalf("Pos = %v, want line 6", be.Pos)
+	}
+}

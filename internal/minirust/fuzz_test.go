@@ -1,0 +1,70 @@
+package minirust
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the whole front end is total: arbitrary input may be
+// rejected with an error but must never panic or hang. Run with
+// `go test -fuzz=FuzzParse ./internal/minirust`; in normal test runs the
+// seed corpus below executes.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"fn main() { }",
+		PaperBufferProgram(true, true),
+		"labels a < b < c; fn main() { }",
+		`struct S { v: Vec<i64> } impl S { fn m(&mut self) { } } fn main() { }`,
+		`fn main() { let x = 1 + 2 * (3 - 4) / 5 % 6; }`,
+		`fn main() { let s = "str\n\t\"\\"; }`,
+		`fn main() { #[label(secret)] let x = vec![1]; println(x); }`,
+		`fn f(a: i64, b: &mut Vec<bool>) -> Vec<str> { return vec![]; }`,
+		"fn main() { // comment\n }",
+		"fn main() { if a { } else if b { } else { } while c { } }",
+		"\xff\xfe invalid utf8",
+		"fn main() { x.y.z.w(1,2,3).q = 5; }",
+		strings.Repeat("fn f() { } ", 50) + "fn main() { }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything that parses must also survive the checker pipeline
+		// without panicking.
+		checked, err := Check(prog)
+		if err != nil {
+			return
+		}
+		_ = BorrowCheck(checked)
+	})
+}
+
+// FuzzInterp runs parsed-and-checked random programs under a tight step
+// budget: the interpreter must always return (value or error), never
+// panic or loop forever.
+func FuzzInterp(f *testing.F) {
+	f.Add("fn main() { let mut i = 0; while i < 10 { i = i + 1; } println(i); }")
+	f.Add("fn main() { let x = 1 / 1; let y = 1 % 1; assert(true); }")
+	f.Add(PaperBufferProgram(true, false))
+	f.Add("fn r(n: i64) -> i64 { if n < 1 { return 0; } return r(n - 1); } fn main() { println(r(9)); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		checked, err := Check(prog)
+		if err != nil {
+			return
+		}
+		if err := BorrowCheck(checked); err != nil {
+			return
+		}
+		in := NewInterp(checked, WithMaxSteps(20_000))
+		_ = in.Run() // must not panic
+	})
+}

@@ -1,0 +1,230 @@
+package minirust
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// LexError is a lexical error with position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: lex error: %s", e.Pos, e.Msg) }
+
+// Lex tokenizes src. Comments run from // to end of line.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+		word := sb.String()
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Text: word, Pos: start}, nil
+		}
+		return Token{Kind: IDENT, Text: word, Pos: start}, nil
+
+	case unicode.IsDigit(rune(c)):
+		var sb strings.Builder
+		for l.off < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			sb.WriteByte(l.advance())
+		}
+		if l.off < len(l.src) && isIdentStart(l.peek()) {
+			return Token{}, &LexError{Pos: l.pos(), Msg: "identifier cannot start with a digit"}
+		}
+		return Token{Kind: INT, Text: sb.String(), Pos: start}, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, &LexError{Pos: start, Msg: "unterminated string"}
+			}
+			ch := l.advance()
+			if ch == '"' {
+				return Token{Kind: STRING, Text: sb.String(), Pos: start}, nil
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return Token{}, &LexError{Pos: start, Msg: "unterminated escape"}
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unknown escape \\%c", esc)}
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+	}
+
+	two := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Pos: start}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Pos: start}, nil
+	}
+
+	switch {
+	case c == ':' && l.peek2() == ':':
+		return two(ColonColon)
+	case c == '-' && l.peek2() == '>':
+		return two(Arrow)
+	case c == '&' && l.peek2() == '&':
+		return two(AmpAmp)
+	case c == '|' && l.peek2() == '|':
+		return two(Pipe2)
+	case c == '=' && l.peek2() == '=':
+		return two(Eq)
+	case c == '!' && l.peek2() == '=':
+		return two(Ne)
+	case c == '<' && l.peek2() == '=':
+		return two(Le)
+	case c == '>' && l.peek2() == '=':
+		return two(Ge)
+	}
+
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semi)
+	case ':':
+		return one(Colon)
+	case '.':
+		return one(Dot)
+	case '&':
+		return one(Amp)
+	case '#':
+		return one(Hash)
+	case '=':
+		return one(Assign)
+	case '<':
+		return one(Lt)
+	case '>':
+		return one(Gt)
+	case '+':
+		return one(Plus)
+	case '-':
+		return one(Minus)
+	case '*':
+		return one(Star)
+	case '/':
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '!':
+		return one(Bang)
+	}
+	return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+}

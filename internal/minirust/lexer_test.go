@@ -1,0 +1,130 @@
+package minirust
+
+import (
+	"errors"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicProgram(t *testing.T) {
+	toks, err := Lex(`fn main() { let x = 42; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwFn, IDENT, LParen, RParen, LBrace, KwLet, IDENT, Assign, INT, Semi, RBrace, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`:: -> && || == != <= >= < > = & # ! + - * / %`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{ColonColon, Arrow, AmpAmp, Pipe2, Eq, Ne, Le, Ge, Lt, Gt, Assign, Amp, Hash, Bang, Plus, Minus, Star, Slash, Percent, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("// a comment\nlet // trailing\nx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwLet, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("let\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Fatalf("let pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Fatalf("x pos = %v", toks[1].Pos)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\nb\t\"\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\nb\t\"\\" {
+		t.Fatalf("text = %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		`@`,
+		`123abc`,
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		} else {
+			var le *LexError
+			if !errors.As(err, &le) {
+				t.Errorf("Lex(%q) error is %T", src, err)
+			}
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("struct structx vec vecs mut mutable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwStruct, IDENT, KwVec, IDENT, KwMut, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v want %v", got, want)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{Kind: IDENT, Text: "x"}).String() == "" {
+		t.Fatal("empty token string")
+	}
+	if (Token{Kind: STRING, Text: "s"}).String() == "" {
+		t.Fatal("empty string-token string")
+	}
+	if (Token{Kind: Arrow}).String() != "->" {
+		t.Fatal("arrow token string")
+	}
+	if Kind(999).String() == "" {
+		t.Fatal("unknown kind string")
+	}
+}

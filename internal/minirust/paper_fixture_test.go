@@ -1,0 +1,10 @@
+package minirust
+
+// mustCheck parses and type-checks a program for tests.
+func mustCheck(src string) (*Checked, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(prog)
+}

@@ -1,0 +1,55 @@
+package minirust
+
+// PaperBufferProgram renders the paper's §4 listing in minirust surface
+// syntax: the Buffer struct whose append steals the first vector it
+// receives (the aliasing hazard of paper lines 6-7), the labeled secret
+// and non-secret vectors, and — per the flags — the direct leak (paper
+// line 16) and the alias-laundering exploit (paper line 17).
+//
+// It lives in the library (not the test files) because the verifier CLI,
+// the examples, and three packages' tests all analyze it.
+func PaperBufferProgram(withDirectLeak, withAliasExploit bool) string {
+	src := `
+labels public < secret;
+
+struct Buffer { data: Vec<i64> }
+
+impl Buffer {
+    fn new() -> Buffer {
+        return Buffer { data: vec![] };
+    }
+    // Uses the first vector of values received from the client to store
+    // the data internally (paper line 6), and later appends new data to
+    // it (line 7).
+    fn append(&mut self, v: Vec<i64>) {
+        if vec_len(&self.data) == 0 {
+            self.data = v;
+        } else {
+            let n = vec_len(&v);
+            let mut i = 0;
+            while i < n {
+                vec_push(&mut self.data, vec_get(&v, i));
+                i = i + 1;
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut buf = Buffer::new();
+    #[label(public)]
+    let nonsec = vec![1, 2, 3];
+    #[label(secret)]
+    let sec = vec![4, 5, 6];
+    buf.append(nonsec);
+    buf.append(sec);        // buf now contains secret data
+`
+	if withDirectLeak {
+		src += "    println(buf.data);      // paper line 16: leaks secret data\n"
+	}
+	if withAliasExploit {
+		src += "    println(nonsec);        // paper line 17: aliasing exploit\n"
+	}
+	src += "}\n"
+	return src
+}

@@ -1,0 +1,311 @@
+package minirust
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParsePaperProgram(t *testing.T) {
+	prog, err := Parse(PaperBufferProgram(true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.LabelOrder) != 2 || prog.LabelOrder[0] != "public" || prog.LabelOrder[1] != "secret" {
+		t.Fatalf("LabelOrder = %v", prog.LabelOrder)
+	}
+	if _, ok := prog.Structs["Buffer"]; !ok {
+		t.Fatal("Buffer struct missing")
+	}
+	if _, ok := prog.Funcs["Buffer::new"]; !ok {
+		t.Fatal("Buffer::new missing")
+	}
+	app, ok := prog.Funcs["Buffer::append"]
+	if !ok {
+		t.Fatal("Buffer::append missing")
+	}
+	if app.IsAssoc {
+		t.Fatal("append should not be associated")
+	}
+	if len(app.Params) != 2 || app.Params[0].Name != "self" {
+		t.Fatalf("append params = %+v", app.Params)
+	}
+	if !app.Params[0].Type.Equal(RefTo(Type{Name: "Buffer"}, true)) {
+		t.Fatalf("self type = %s", app.Params[0].Type)
+	}
+	newFn := prog.Funcs["Buffer::new"]
+	if !newFn.IsAssoc || !newFn.Ret.Equal(Type{Name: "Buffer"}) {
+		t.Fatalf("new = %+v", newFn)
+	}
+	main := prog.Funcs["main"]
+	// main has: let, let(label), let(label), 2 exprs, 2 printlns = 7 stmts
+	if len(main.Body) != 7 {
+		t.Fatalf("main has %d stmts", len(main.Body))
+	}
+	// Label annotations landed on the right lets.
+	let1 := main.Body[1].(*LetStmt)
+	let2 := main.Body[2].(*LetStmt)
+	if let1.Label != "public" || let1.Name != "nonsec" {
+		t.Fatalf("let1 = %+v", let1)
+	}
+	if let2.Label != "secret" || let2.Name != "sec" {
+		t.Fatalf("let2 = %+v", let2)
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	prog, err := Parse(`
+fn f(a: i64, b: Vec<Vec<bool>>, c: &str, d: &mut Vec<i64>) -> i64 { return a; }
+fn main() { }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Funcs["f"]
+	if !f.Params[1].Type.Equal(VecOf(VecOf(TypeBool))) {
+		t.Fatalf("b type = %s", f.Params[1].Type)
+	}
+	if !f.Params[2].Type.Equal(RefTo(TypeStr, false)) {
+		t.Fatalf("c type = %s", f.Params[2].Type)
+	}
+	if !f.Params[3].Type.Equal(RefTo(VecOf(TypeI64), true)) {
+		t.Fatalf("d type = %s", f.Params[3].Type)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`fn main() { let x = 1 + 2 * 3 < 10 && true || false; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	let := prog.Funcs["main"].Body[0].(*LetStmt)
+	// Top must be ||.
+	or, ok := let.Init.(*BinaryExpr)
+	if !ok || or.Op != Pipe2 {
+		t.Fatalf("top = %#v", let.Init)
+	}
+	and, ok := or.L.(*BinaryExpr)
+	if !ok || and.Op != AmpAmp {
+		t.Fatalf("second = %#v", or.L)
+	}
+	cmp, ok := and.L.(*BinaryExpr)
+	if !ok || cmp.Op != Lt {
+		t.Fatalf("third = %#v", and.L)
+	}
+	add, ok := cmp.L.(*BinaryExpr)
+	if !ok || add.Op != Plus {
+		t.Fatalf("fourth = %#v", cmp.L)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != Star {
+		t.Fatalf("mul = %#v", add.R)
+	}
+}
+
+func TestParseStructLitVsBlockAmbiguity(t *testing.T) {
+	// `if x { }` must not parse x { } as a struct literal.
+	prog, err := Parse(`
+struct S { a: i64 }
+fn main() {
+    let x = true;
+    if x { let y = 1; }
+    while x { let z = 2; }
+    let s = S { a: (1) };
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifStmt := prog.Funcs["main"].Body[1].(*IfStmt)
+	if _, ok := ifStmt.Cond.(*VarRef); !ok {
+		t.Fatalf("if cond = %#v", ifStmt.Cond)
+	}
+	let := prog.Funcs["main"].Body[3].(*LetStmt)
+	if _, ok := let.Init.(*StructLit); !ok {
+		t.Fatalf("struct literal = %#v", let.Init)
+	}
+}
+
+func TestParseMethodChainsAndFields(t *testing.T) {
+	prog, err := Parse(`fn main() { let a = x.f.g; y.m(1).h(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs["main"].Body
+	fa := body[0].(*LetStmt).Init.(*FieldAccess)
+	if fa.Field != "g" {
+		t.Fatalf("outer field = %s", fa.Field)
+	}
+	inner := fa.X.(*FieldAccess)
+	if inner.Field != "f" {
+		t.Fatalf("inner field = %s", inner.Field)
+	}
+	mc := body[1].(*ExprStmt).X.(*MethodCall)
+	if mc.Method != "h" {
+		t.Fatalf("outer method = %s", mc.Method)
+	}
+	if mc.Recv.(*MethodCall).Method != "m" {
+		t.Fatal("inner method")
+	}
+}
+
+func TestParseAssignmentTargets(t *testing.T) {
+	prog, err := Parse(`fn main() { x = 1; x.f = 2; x.f.g = 3; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs["main"].Body
+	a0 := body[0].(*AssignStmt)
+	if a0.Target.String() != "x" {
+		t.Fatalf("target = %s", a0.Target)
+	}
+	a2 := body[2].(*AssignStmt)
+	if a2.Target.String() != "x.f.g" {
+		t.Fatalf("target = %s", a2.Target)
+	}
+}
+
+func TestParseInvalidAssignTarget(t *testing.T) {
+	_, err := Parse(`fn main() { f() = 1; }`)
+	if err == nil || !strings.Contains(err.Error(), "invalid assignment target") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseBorrowForms(t *testing.T) {
+	prog, err := Parse(`fn main() { f(&x, &mut y, &z.w); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := prog.Funcs["main"].Body[0].(*ExprStmt).X.(*CallExpr)
+	b0 := call.Args[0].(*BorrowExpr)
+	b1 := call.Args[1].(*BorrowExpr)
+	b2 := call.Args[2].(*BorrowExpr)
+	if b0.Mut || !b1.Mut || b2.Mut {
+		t.Fatal("borrow mutability wrong")
+	}
+	if _, ok := b2.X.(*FieldAccess); !ok {
+		t.Fatal("borrow of field")
+	}
+}
+
+func TestParseBorrowOfLiteralRejected(t *testing.T) {
+	_, err := Parse(`fn main() { f(&1); }`)
+	if err == nil {
+		t.Fatal("borrow of literal accepted")
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog, err := Parse(`fn main() { if a { } else if b { } else { let x = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := prog.Funcs["main"].Body[0].(*IfStmt)
+	elif := top.Else[0].(*IfStmt)
+	if elif.Else == nil {
+		t.Fatal("final else missing")
+	}
+}
+
+func TestParseVecMacro(t *testing.T) {
+	prog, err := Parse(`fn main() { let v = vec![1, 2+3]; let e = vec![]; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := prog.Funcs["main"].Body[0].(*LetStmt).Init.(*VecLit)
+	if len(v.Elems) != 2 {
+		t.Fatalf("elems = %d", len(v.Elems))
+	}
+	e := prog.Funcs["main"].Body[1].(*LetStmt).Init.(*VecLit)
+	if len(e.Elems) != 0 {
+		t.Fatal("empty vec not empty")
+	}
+}
+
+func TestParseErrorsProduced(t *testing.T) {
+	cases := []string{
+		`fn main( { }`,                                // bad params
+		`struct S { a: i64`,                           // unterminated struct
+		`fn main() { let = 1; }`,                      // missing name
+		`fn main() { #[unknown(x)] let a = 1; }`,      // unknown annotation
+		`fn main() { #[label(x)] f(); }`,              // label on non-let
+		`impl Missing { }`,                            // impl for unknown struct
+		`struct S { a: i64, a: bool }`,                // duplicate field
+		`struct S {} struct S {}`,                     // duplicate struct
+		`fn f() {} fn f() {}`,                         // duplicate fn
+		`labels a < ; fn main() {}`,                   // bad labels decl
+		`fn main() { let x = S { a: 1, a: 2 }; }`,     // dup literal field
+		`fn main() { let x = 99999999999999999999; }`, // int overflow
+		`blah`, // junk top level
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	_, err := Parse(`fn`)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T", err)
+	}
+	if pe.Pos.Line != 1 {
+		t.Fatalf("pos = %v", pe.Pos)
+	}
+}
+
+func TestParseReceiverForms(t *testing.T) {
+	prog, err := Parse(`
+struct S { a: i64 }
+impl S {
+    fn by_ref(&self) { }
+    fn by_mut(&mut self) { }
+    fn by_val(self) { }
+    fn assoc(x: i64) { }
+}
+fn main() { }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ := prog.Funcs["S::by_ref"].Params[0].Type; !typ.Equal(RefTo(Type{Name: "S"}, false)) {
+		t.Fatalf("by_ref self = %s", typ)
+	}
+	if typ := prog.Funcs["S::by_mut"].Params[0].Type; !typ.Equal(RefTo(Type{Name: "S"}, true)) {
+		t.Fatalf("by_mut self = %s", typ)
+	}
+	if typ := prog.Funcs["S::by_val"].Params[0].Type; !typ.Equal(Type{Name: "S"}) {
+		t.Fatalf("by_val self = %s", typ)
+	}
+	if !prog.Funcs["S::assoc"].IsAssoc {
+		t.Fatal("assoc not associated")
+	}
+}
+
+func TestParseUnitReturnType(t *testing.T) {
+	prog, err := Parse(`fn f() -> () { } fn main() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Funcs["f"].Ret.IsUnit() {
+		t.Fatal("unit return")
+	}
+}
+
+func TestTypeStringRendering(t *testing.T) {
+	cases := map[string]Type{
+		"i64":           TypeI64,
+		"Vec<i64>":      VecOf(TypeI64),
+		"&Vec<bool>":    RefTo(VecOf(TypeBool), false),
+		"&mut Buffer":   RefTo(Type{Name: "Buffer"}, true),
+		"Vec<Vec<str>>": VecOf(VecOf(TypeStr)),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}

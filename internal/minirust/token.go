@@ -1,0 +1,143 @@
+// Package minirust implements a small Rust-like language with single
+// ownership: lexer, parser, type checker, borrow/move checker, and a
+// concrete interpreter.
+//
+// The paper's §4 analyses (static information-flow control) operate on
+// Rust source; Go cannot host them directly, so this package provides the
+// analyzed language. It is expressive enough to state the paper's §4
+// listing — the Buffer struct, its append method, labeled lets, and the
+// two exploits — essentially verbatim:
+//
+//	struct Buffer { data: Vec<i64> }
+//	impl Buffer {
+//	    fn new() -> Buffer { return Buffer { data: vec![] }; }
+//	    fn append(self: &mut Buffer, v: Vec<i64>) { ... }
+//	}
+//	fn main() {
+//	    let mut buf = Buffer::new();
+//	    #[label(public)] let nonsec = vec![1,2,3];
+//	    #[label(secret)] let sec = vec![4,5,6];
+//	    buf.append(nonsec);
+//	    buf.append(sec);
+//	    println(buf.data);   // rejected by IFC: leaks secret data
+//	    println(nonsec);     // rejected by the borrow checker: moved
+//	}
+//
+// The borrow/move checker plays the role of rustc's ownership checks; the
+// abstract interpreter in internal/ifc and the driver in internal/verifier
+// play the role of the paper's SMACK-based toolchain.
+package minirust
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	STRING
+
+	// Keywords.
+	KwStruct
+	KwImpl
+	KwFn
+	KwLet
+	KwMut
+	KwIf
+	KwElse
+	KwWhile
+	KwReturn
+	KwTrue
+	KwFalse
+	KwLabels
+	KwVec
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semi
+	Colon
+	ColonColon
+	Arrow
+	Dot
+	Amp
+	AmpAmp
+	Pipe2
+	Hash
+	Assign
+	Eq
+	Ne
+	Lt
+	Gt
+	Le
+	Ge
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Bang
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer", STRING: "string",
+	KwStruct: "struct", KwImpl: "impl", KwFn: "fn", KwLet: "let",
+	KwMut: "mut", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwReturn: "return", KwTrue: "true", KwFalse: "false", KwLabels: "labels",
+	KwVec: "vec", LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semi: ";", Colon: ":",
+	ColonColon: "::", Arrow: "->", Dot: ".", Amp: "&", AmpAmp: "&&",
+	Pipe2: "||", Hash: "#", Assign: "=", Eq: "==", Ne: "!=", Lt: "<",
+	Gt: ">", Le: "<=", Ge: ">=", Plus: "+", Minus: "-", Star: "*",
+	Slash: "/", Percent: "%", Bang: "!",
+}
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"struct": KwStruct, "impl": KwImpl, "fn": KwFn, "let": KwLet,
+	"mut": KwMut, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"return": KwReturn, "true": KwTrue, "false": KwFalse,
+	"labels": KwLabels, "vec": KwVec,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier name, integer literal, or string contents
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

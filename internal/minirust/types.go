@@ -1,0 +1,650 @@
+package minirust
+
+import (
+	"fmt"
+)
+
+// TypeError is a semantic error with position.
+type TypeError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *TypeError) Error() string { return fmt.Sprintf("%s: type error: %s", e.Pos, e.Msg) }
+
+// Checked is the output of the type checker: the program plus a type for
+// every expression, consumed by the borrow checker, the interpreter, and
+// the IFC analysis.
+type Checked struct {
+	Prog  *Program
+	Types map[Expr]Type
+}
+
+// TypeOf returns the checked type of an expression.
+func (c *Checked) TypeOf(e Expr) Type { return c.Types[e] }
+
+// Check type-checks the program. It requires a main function.
+func Check(prog *Program) (*Checked, error) {
+	c := &checker{
+		prog:  prog,
+		types: make(map[Expr]Type),
+	}
+	// Validate struct field types.
+	for _, s := range prog.Structs {
+		for _, f := range s.Fields {
+			if err := c.validType(f.Type, s.Pos); err != nil {
+				return nil, err
+			}
+			if f.Type.IsRef() {
+				return nil, &TypeError{Pos: s.Pos, Msg: fmt.Sprintf("struct %s field %s: reference-typed fields are not supported (no lifetimes)", s.Name, f.Name)}
+			}
+		}
+	}
+	// Validate signatures.
+	for _, name := range prog.Order {
+		f := prog.Funcs[name]
+		seen := map[string]bool{}
+		for _, p := range f.Params {
+			if seen[p.Name] {
+				return nil, &TypeError{Pos: f.Pos, Msg: fmt.Sprintf("%s: duplicate parameter %s", f.Name, p.Name)}
+			}
+			seen[p.Name] = true
+			if err := c.validType(p.Type, f.Pos); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.validType(f.Ret, f.Pos); err != nil {
+			return nil, err
+		}
+		if f.Ret.IsRef() {
+			return nil, &TypeError{Pos: f.Pos, Msg: fmt.Sprintf("%s: returning references is not supported (no lifetimes)", f.Name)}
+		}
+	}
+	if _, ok := prog.Funcs["main"]; !ok {
+		return nil, &TypeError{Pos: Pos{1, 1}, Msg: "no main function"}
+	}
+	// Check bodies.
+	for _, name := range prog.Order {
+		if err := c.checkFunc(prog.Funcs[name]); err != nil {
+			return nil, err
+		}
+	}
+	return &Checked{Prog: prog, Types: c.types}, nil
+}
+
+type checker struct {
+	prog  *Program
+	types map[Expr]Type
+	fn    *FuncDef
+}
+
+type varInfo struct {
+	typ Type
+	mut bool
+}
+
+// scope is a lexical scope chain.
+type scope struct {
+	vars   map[string]*varInfo
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: make(map[string]*varInfo), parent: parent}
+}
+
+func (s *scope) lookup(name string) (*varInfo, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) validType(t Type, pos Pos) error {
+	switch {
+	case t.Ref != nil:
+		return c.validType(*t.Ref, pos)
+	case t.Vec != nil:
+		return c.validType(*t.Vec, pos)
+	case t.Name == "i64" || t.Name == "bool" || t.Name == "str" || t.Name == "unit":
+		return nil
+	default:
+		if _, ok := c.prog.Structs[t.Name]; !ok {
+			return &TypeError{Pos: pos, Msg: fmt.Sprintf("unknown type %s", t.Name)}
+		}
+		return nil
+	}
+}
+
+func (c *checker) errf(pos Pos, format string, args ...any) error {
+	return &TypeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) checkFunc(f *FuncDef) error {
+	c.fn = f
+	sc := newScope(nil)
+	for _, p := range f.Params {
+		// Parameters are mutable bindings if they are &mut borrows (the
+		// pointee is mutable through them); by-value params are
+		// rebindable in Rust only with mut, which we default to allowed
+		// for simplicity of the examples, except borrows stay fixed.
+		sc.vars[p.Name] = &varInfo{typ: p.Type, mut: true}
+	}
+	if err := c.checkBlock(f.Body, sc); err != nil {
+		return err
+	}
+	if !f.Ret.IsUnit() && !blockReturns(f.Body) {
+		return c.errf(f.Pos, "%s: missing return on some path (returns %s)", f.Name, f.Ret)
+	}
+	return nil
+}
+
+// blockReturns reports whether every path through the block returns.
+func blockReturns(stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *ReturnStmt:
+			return true
+		case *IfStmt:
+			if v.Else != nil && blockReturns(v.Then) && blockReturns(v.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) checkBlock(stmts []Stmt, sc *scope) error {
+	for _, s := range stmts {
+		if err := c.checkStmt(s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	switch v := s.(type) {
+	case *LetStmt:
+		t, err := c.checkExpr(v.Init, sc)
+		if err != nil {
+			return err
+		}
+		if t.IsRef() {
+			return c.errf(v.Pos, "let bindings cannot hold references (borrows are call-scoped)")
+		}
+		if v.Decl != nil {
+			if err := c.validType(*v.Decl, v.Pos); err != nil {
+				return err
+			}
+			if !v.Decl.Equal(t) {
+				// Empty vec literal adopts the declared type.
+				if lit, ok := v.Init.(*VecLit); ok && len(lit.Elems) == 0 && v.Decl.IsVec() {
+					t = *v.Decl
+					c.types[v.Init] = t
+				} else {
+					return c.errf(v.Pos, "let %s: declared %s but initializer has type %s", v.Name, v.Decl, t)
+				}
+			}
+		}
+		if t.IsUnit() {
+			return c.errf(v.Pos, "let %s: cannot bind unit value", v.Name)
+		}
+		v.SetType = t
+		sc.vars[v.Name] = &varInfo{typ: t, mut: v.Mut}
+		return nil
+
+	case *AssignStmt:
+		targetT, rootInfo, err := c.lvalueType(v.Target, sc)
+		if err != nil {
+			return err
+		}
+		if !rootInfo.mut && !rootInfo.typ.IsRef() {
+			return c.errf(v.Pos, "cannot assign to %s: binding is not mutable", v.Target)
+		}
+		if rootInfo.typ.IsRef() && !rootInfo.typ.Mut && len(v.Target.Path) > 0 {
+			return c.errf(v.Pos, "cannot assign through shared reference %s", v.Target.Root)
+		}
+		valT, err := c.checkExpr(v.Value, sc)
+		if err != nil {
+			return err
+		}
+		if !targetT.Equal(valT) {
+			if lit, ok := v.Value.(*VecLit); ok && len(lit.Elems) == 0 && targetT.IsVec() {
+				c.types[v.Value] = targetT
+			} else {
+				return c.errf(v.Pos, "assign to %s: have %s, want %s", v.Target, valT, targetT)
+			}
+		}
+		return nil
+
+	case *ExprStmt:
+		_, err := c.checkExpr(v.X, sc)
+		return err
+
+	case *IfStmt:
+		t, err := c.checkExpr(v.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if !t.Equal(TypeBool) {
+			return c.errf(v.Pos, "if condition must be bool, have %s", t)
+		}
+		if err := c.checkBlock(v.Then, newScope(sc)); err != nil {
+			return err
+		}
+		if v.Else != nil {
+			return c.checkBlock(v.Else, newScope(sc))
+		}
+		return nil
+
+	case *WhileStmt:
+		t, err := c.checkExpr(v.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if !t.Equal(TypeBool) {
+			return c.errf(v.Pos, "while condition must be bool, have %s", t)
+		}
+		return c.checkBlock(v.Body, newScope(sc))
+
+	case *ReturnStmt:
+		want := c.fn.Ret
+		if v.Value == nil {
+			if !want.IsUnit() {
+				return c.errf(v.Pos, "return without value in function returning %s", want)
+			}
+			return nil
+		}
+		t, err := c.checkExpr(v.Value, sc)
+		if err != nil {
+			return err
+		}
+		if !t.Equal(want) {
+			if lit, ok := v.Value.(*VecLit); ok && len(lit.Elems) == 0 && want.IsVec() {
+				c.types[v.Value] = want
+				return nil
+			}
+			return c.errf(v.Pos, "return %s from function returning %s", t, want)
+		}
+		return nil
+	}
+	return c.errf(s.Position(), "unhandled statement")
+}
+
+// lvalueType resolves an assignment target, returning the type of the
+// final path element and the root variable's info.
+func (c *checker) lvalueType(lv LValue, sc *scope) (Type, *varInfo, error) {
+	info, ok := sc.lookup(lv.Root)
+	if !ok {
+		return Type{}, nil, c.errf(lv.Pos, "unknown variable %s", lv.Root)
+	}
+	t := info.typ
+	for _, field := range lv.Path {
+		// Auto-deref through borrows.
+		for t.IsRef() {
+			t = *t.Ref
+		}
+		sd, ok := c.prog.Structs[t.Name]
+		if !ok {
+			return Type{}, nil, c.errf(lv.Pos, "%s is not a struct (cannot access field %s)", t, field)
+		}
+		ft, ok := sd.FieldType(field)
+		if !ok {
+			return Type{}, nil, c.errf(lv.Pos, "struct %s has no field %s", t.Name, field)
+		}
+		t = ft
+	}
+	return t, info, nil
+}
+
+func (c *checker) checkExpr(e Expr, sc *scope) (Type, error) {
+	t, err := c.exprType(e, sc)
+	if err != nil {
+		return Type{}, err
+	}
+	c.types[e] = t
+	return t, nil
+}
+
+func (c *checker) exprType(e Expr, sc *scope) (Type, error) {
+	switch v := e.(type) {
+	case *IntLit:
+		return TypeI64, nil
+	case *BoolLit:
+		return TypeBool, nil
+	case *StrLit:
+		return TypeStr, nil
+
+	case *VecLit:
+		if len(v.Elems) == 0 {
+			// Type adopted from context (let/assign/return/param);
+			// default to Vec<i64> when no context adjusts it.
+			return VecOf(TypeI64), nil
+		}
+		first, err := c.checkExpr(v.Elems[0], sc)
+		if err != nil {
+			return Type{}, err
+		}
+		for _, el := range v.Elems[1:] {
+			t, err := c.checkExpr(el, sc)
+			if err != nil {
+				return Type{}, err
+			}
+			if !t.Equal(first) {
+				return Type{}, c.errf(el.Position(), "vec! elements must share a type: %s vs %s", first, t)
+			}
+		}
+		return VecOf(first), nil
+
+	case *VarRef:
+		info, ok := sc.lookup(v.Name)
+		if !ok {
+			return Type{}, c.errf(v.Pos, "unknown variable %s", v.Name)
+		}
+		return info.typ, nil
+
+	case *FieldAccess:
+		xt, err := c.checkExpr(v.X, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		for xt.IsRef() {
+			xt = *xt.Ref
+		}
+		sd, ok := c.prog.Structs[xt.Name]
+		if !ok {
+			return Type{}, c.errf(v.Pos, "%s is not a struct (cannot access field %s)", xt, v.Field)
+		}
+		ft, ok := sd.FieldType(v.Field)
+		if !ok {
+			return Type{}, c.errf(v.Pos, "struct %s has no field %s", xt.Name, v.Field)
+		}
+		return ft, nil
+
+	case *BorrowExpr:
+		xt, err := c.checkExpr(v.X, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		if xt.IsRef() {
+			return Type{}, c.errf(v.Pos, "cannot borrow a borrow")
+		}
+		if v.Mut {
+			if err := c.requireMutPath(v.X, sc); err != nil {
+				return Type{}, err
+			}
+		}
+		return RefTo(xt, v.Mut), nil
+
+	case *UnaryExpr:
+		xt, err := c.checkExpr(v.X, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		switch v.Op {
+		case Bang:
+			if !xt.Equal(TypeBool) {
+				return Type{}, c.errf(v.Pos, "! requires bool, have %s", xt)
+			}
+			return TypeBool, nil
+		case Minus:
+			if !xt.Equal(TypeI64) {
+				return Type{}, c.errf(v.Pos, "- requires i64, have %s", xt)
+			}
+			return TypeI64, nil
+		}
+		return Type{}, c.errf(v.Pos, "unknown unary operator")
+
+	case *BinaryExpr:
+		lt, err := c.checkExpr(v.L, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		rt, err := c.checkExpr(v.R, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		switch v.Op {
+		case Plus, Minus, Star, Slash, Percent:
+			if !lt.Equal(TypeI64) || !rt.Equal(TypeI64) {
+				return Type{}, c.errf(v.Pos, "arithmetic requires i64 operands, have %s and %s", lt, rt)
+			}
+			return TypeI64, nil
+		case Lt, Gt, Le, Ge:
+			if !lt.Equal(TypeI64) || !rt.Equal(TypeI64) {
+				return Type{}, c.errf(v.Pos, "comparison requires i64 operands, have %s and %s", lt, rt)
+			}
+			return TypeBool, nil
+		case Eq, Ne:
+			if !lt.Equal(rt) {
+				return Type{}, c.errf(v.Pos, "cannot compare %s with %s", lt, rt)
+			}
+			if lt.IsVec() || c.prog.Structs[lt.Name] != nil {
+				return Type{}, c.errf(v.Pos, "equality on %s is not supported", lt)
+			}
+			return TypeBool, nil
+		case AmpAmp, Pipe2:
+			if !lt.Equal(TypeBool) || !rt.Equal(TypeBool) {
+				return Type{}, c.errf(v.Pos, "logical operator requires bool operands")
+			}
+			return TypeBool, nil
+		}
+		return Type{}, c.errf(v.Pos, "unknown binary operator")
+
+	case *StructLit:
+		sd, ok := c.prog.Structs[v.Name]
+		if !ok {
+			return Type{}, c.errf(v.Pos, "unknown struct %s", v.Name)
+		}
+		if len(v.Fields) != len(sd.Fields) {
+			return Type{}, c.errf(v.Pos, "struct %s literal must initialize all %d fields", v.Name, len(sd.Fields))
+		}
+		for name, fe := range v.Fields {
+			ft, ok := sd.FieldType(name)
+			if !ok {
+				return Type{}, c.errf(fe.Position(), "struct %s has no field %s", v.Name, name)
+			}
+			t, err := c.checkExpr(fe, sc)
+			if err != nil {
+				return Type{}, err
+			}
+			if !t.Equal(ft) {
+				if lit, isLit := fe.(*VecLit); isLit && len(lit.Elems) == 0 && ft.IsVec() {
+					c.types[fe] = ft
+					continue
+				}
+				return Type{}, c.errf(fe.Position(), "field %s: have %s, want %s", name, t, ft)
+			}
+		}
+		return Type{Name: v.Name}, nil
+
+	case *CallExpr:
+		return c.checkCall(v, sc)
+
+	case *MethodCall:
+		return c.checkMethodCall(v, sc)
+	}
+	return Type{}, c.errf(e.Position(), "unhandled expression")
+}
+
+// requireMutPath verifies that &mut of the given place is legal: the root
+// binding must be mut, or the path must pass through a &mut reference.
+func (c *checker) requireMutPath(e Expr, sc *scope) error {
+	switch v := e.(type) {
+	case *VarRef:
+		info, ok := sc.lookup(v.Name)
+		if !ok {
+			return c.errf(v.Pos, "unknown variable %s", v.Name)
+		}
+		if info.typ.IsRef() {
+			if !info.typ.Mut {
+				return c.errf(v.Pos, "cannot mutably borrow through shared reference %s", v.Name)
+			}
+			return nil
+		}
+		if !info.mut {
+			return c.errf(v.Pos, "cannot mutably borrow immutable binding %s", v.Name)
+		}
+		return nil
+	case *FieldAccess:
+		return c.requireMutPath(v.X, sc)
+	default:
+		return c.errf(e.Position(), "cannot mutably borrow this expression")
+	}
+}
+
+func (c *checker) checkCall(v *CallExpr, sc *scope) (Type, error) {
+	if Builtins[v.Name] {
+		return c.checkBuiltin(v, sc)
+	}
+	f, ok := c.prog.Funcs[v.Name]
+	if !ok {
+		return Type{}, c.errf(v.Pos, "unknown function %s", v.Name)
+	}
+	if len(v.Args) != len(f.Params) {
+		return Type{}, c.errf(v.Pos, "%s takes %d arguments, got %d", v.Name, len(f.Params), len(v.Args))
+	}
+	for i, a := range v.Args {
+		at, err := c.checkExpr(a, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		want := f.Params[i].Type
+		if !at.Equal(want) {
+			if lit, isLit := a.(*VecLit); isLit && len(lit.Elems) == 0 && want.IsVec() {
+				c.types[a] = want
+				continue
+			}
+			return Type{}, c.errf(a.Position(), "%s argument %d: have %s, want %s", v.Name, i+1, at, want)
+		}
+	}
+	return f.Ret, nil
+}
+
+func (c *checker) checkBuiltin(v *CallExpr, sc *scope) (Type, error) {
+	argTypes := make([]Type, len(v.Args))
+	for i, a := range v.Args {
+		t, err := c.checkExpr(a, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		argTypes[i] = t
+	}
+	switch v.Name {
+	case "println":
+		for i, t := range argTypes {
+			if t.IsRef() {
+				return Type{}, c.errf(v.Args[i].Position(), "println takes values, not references")
+			}
+		}
+		return TypeUnit, nil
+	case "assert":
+		if len(v.Args) != 1 || !argTypes[0].Equal(TypeBool) {
+			return Type{}, c.errf(v.Pos, "assert takes one bool argument")
+		}
+		return TypeUnit, nil
+	case "vec_len":
+		if len(v.Args) != 1 || !argTypes[0].IsRef() || !argTypes[0].Ref.IsVec() {
+			return Type{}, c.errf(v.Pos, "vec_len takes &Vec<T>")
+		}
+		return TypeI64, nil
+	case "vec_get":
+		if len(v.Args) != 2 || !argTypes[0].IsRef() || !argTypes[0].Ref.IsVec() || !argTypes[1].Equal(TypeI64) {
+			return Type{}, c.errf(v.Pos, "vec_get takes (&Vec<T>, i64)")
+		}
+		elem := *argTypes[0].Ref.Vec
+		if !elem.IsCopy() {
+			return Type{}, c.errf(v.Pos, "vec_get requires a copyable element type, have %s", elem)
+		}
+		return elem, nil
+	case "vec_push":
+		if len(v.Args) != 2 || !argTypes[0].IsRef() || !argTypes[0].Mut || !argTypes[0].Ref.IsVec() {
+			return Type{}, c.errf(v.Pos, "vec_push takes (&mut Vec<T>, T)")
+		}
+		want := *argTypes[0].Ref.Vec
+		if !argTypes[1].Equal(want) {
+			if lit, isLit := v.Args[1].(*VecLit); isLit && len(lit.Elems) == 0 && want.IsVec() {
+				c.types[v.Args[1]] = want
+			} else {
+				return Type{}, c.errf(v.Pos, "vec_push element: have %s, want %s", argTypes[1], want)
+			}
+		}
+		return TypeUnit, nil
+	case "declassify":
+		if len(v.Args) != 2 {
+			return Type{}, c.errf(v.Pos, "declassify takes (value, \"label\")")
+		}
+		if _, ok := v.Args[1].(*StrLit); !ok {
+			return Type{}, c.errf(v.Pos, "declassify label must be a string literal")
+		}
+		if argTypes[0].IsRef() {
+			return Type{}, c.errf(v.Pos, "declassify takes a value, not a reference")
+		}
+		return argTypes[0], nil
+	case "assert_label_max":
+		if len(v.Args) != 2 {
+			return Type{}, c.errf(v.Pos, "assert_label_max takes (value, \"label\")")
+		}
+		if _, ok := v.Args[1].(*StrLit); !ok {
+			return Type{}, c.errf(v.Pos, "assert_label_max label must be a string literal")
+		}
+		return TypeUnit, nil
+	}
+	return Type{}, c.errf(v.Pos, "unknown builtin %s", v.Name)
+}
+
+func (c *checker) checkMethodCall(v *MethodCall, sc *scope) (Type, error) {
+	rt, err := c.checkExpr(v.Recv, sc)
+	if err != nil {
+		return Type{}, err
+	}
+	base := rt
+	for base.IsRef() {
+		base = *base.Ref
+	}
+	if _, ok := c.prog.Structs[base.Name]; !ok {
+		return Type{}, c.errf(v.Pos, "%s is not a struct (no method %s)", rt, v.Method)
+	}
+	f, ok := c.prog.Funcs[QualifiedName(base.Name, v.Method)]
+	if !ok {
+		return Type{}, c.errf(v.Pos, "struct %s has no method %s", base.Name, v.Method)
+	}
+	if f.IsAssoc {
+		return Type{}, c.errf(v.Pos, "%s is an associated function; call %s::%s(...)", v.Method, base.Name, v.Method)
+	}
+	selfT := f.Params[0].Type
+	// Auto-borrow: a &mut self method needs a mutable receiver path.
+	if selfT.IsRef() && selfT.Mut && !rt.IsRef() {
+		if err := c.requireMutPath(v.Recv, sc); err != nil {
+			return Type{}, err
+		}
+	}
+	if rt.IsRef() && selfT.IsRef() && selfT.Mut && !rt.Mut {
+		return Type{}, c.errf(v.Pos, "method %s requires &mut self but receiver is a shared reference", v.Method)
+	}
+	if !selfT.IsRef() && rt.IsRef() {
+		return Type{}, c.errf(v.Pos, "method %s consumes self; cannot call through a reference", v.Method)
+	}
+	rest := f.Params[1:]
+	if len(v.Args) != len(rest) {
+		return Type{}, c.errf(v.Pos, "%s takes %d arguments, got %d", v.Method, len(rest), len(v.Args))
+	}
+	for i, a := range v.Args {
+		at, err := c.checkExpr(a, sc)
+		if err != nil {
+			return Type{}, err
+		}
+		want := rest[i].Type
+		if !at.Equal(want) {
+			if lit, isLit := a.(*VecLit); isLit && len(lit.Elems) == 0 && want.IsVec() {
+				c.types[a] = want
+				continue
+			}
+			return Type{}, c.errf(a.Position(), "%s argument %d: have %s, want %s", v.Method, i+1, at, want)
+		}
+	}
+	return f.Ret, nil
+}

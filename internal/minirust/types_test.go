@@ -1,0 +1,284 @@
+package minirust
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func expectTypeError(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := mustCheck(src)
+	if err == nil {
+		t.Fatalf("Check succeeded, want error containing %q", want)
+	}
+	var te *TypeError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T (%v), want *TypeError", err, err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want substring %q", err, want)
+	}
+}
+
+func TestCheckPaperProgram(t *testing.T) {
+	c, err := mustCheck(PaperBufferProgram(true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check inferred types.
+	main := c.Prog.Funcs["main"]
+	let := main.Body[1].(*LetStmt) // nonsec
+	if !let.SetType.Equal(VecOf(TypeI64)) {
+		t.Fatalf("nonsec type = %s", let.SetType)
+	}
+}
+
+func TestCheckRequiresMain(t *testing.T) {
+	expectTypeError(t, `fn f() { }`, "no main")
+}
+
+func TestCheckUnknownVariable(t *testing.T) {
+	expectTypeError(t, `fn main() { let x = y; }`, "unknown variable y")
+}
+
+func TestCheckUnknownType(t *testing.T) {
+	expectTypeError(t, `fn f(x: Widget) { } fn main() { }`, "unknown type Widget")
+}
+
+func TestCheckArithmeticTypes(t *testing.T) {
+	expectTypeError(t, `fn main() { let x = 1 + true; }`, "arithmetic requires i64")
+	expectTypeError(t, `fn main() { let x = true < false; }`, "comparison requires i64")
+	expectTypeError(t, `fn main() { let x = 1 && true; }`, "logical operator requires bool")
+	expectTypeError(t, `fn main() { let x = !1; }`, "! requires bool")
+	expectTypeError(t, `fn main() { let x = -true; }`, "- requires i64")
+	expectTypeError(t, `fn main() { let x = 1 == true; }`, "cannot compare")
+	expectTypeError(t, `fn main() { let x = vec![1] == vec![1]; }`, "equality on Vec<i64> is not supported")
+}
+
+func TestCheckConditionMustBeBool(t *testing.T) {
+	expectTypeError(t, `fn main() { if 1 { } }`, "if condition must be bool")
+	expectTypeError(t, `fn main() { while 1 { } }`, "while condition must be bool")
+}
+
+func TestCheckLetDeclMismatch(t *testing.T) {
+	expectTypeError(t, `fn main() { let x: bool = 1; }`, "declared bool")
+}
+
+func TestCheckEmptyVecAdoptsDeclaredType(t *testing.T) {
+	c, err := mustCheck(`fn main() { let v: Vec<bool> = vec![]; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	let := c.Prog.Funcs["main"].Body[0].(*LetStmt)
+	if !c.TypeOf(let.Init).Equal(VecOf(TypeBool)) {
+		t.Fatalf("empty vec type = %s", c.TypeOf(let.Init))
+	}
+}
+
+func TestCheckVecElementMismatch(t *testing.T) {
+	expectTypeError(t, `fn main() { let v = vec![1, true]; }`, "share a type")
+}
+
+func TestCheckAssignMutability(t *testing.T) {
+	expectTypeError(t, `fn main() { let x = 1; x = 2; }`, "not mutable")
+	if _, err := mustCheck(`fn main() { let mut x = 1; x = 2; }`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFieldAssignThroughSharedRefRejected(t *testing.T) {
+	expectTypeError(t, `
+struct S { a: i64 }
+fn f(s: &S) { s.a = 1; }
+fn main() { }
+`, "through shared reference")
+}
+
+func TestCheckFieldAssignThroughMutRefAllowed(t *testing.T) {
+	if _, err := mustCheck(`
+struct S { a: i64 }
+fn f(s: &mut S) { s.a = 1; }
+fn main() { }
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckStructLiteral(t *testing.T) {
+	expectTypeError(t, `
+struct S { a: i64, b: bool }
+fn main() { let s = S { a: 1 }; }
+`, "must initialize all 2 fields")
+	expectTypeError(t, `
+struct S { a: i64 }
+fn main() { let s = S { a: true }; }
+`, "field a: have bool, want i64")
+	expectTypeError(t, `fn main() { let s = Nope { a: 1 }; }`, "unknown struct")
+}
+
+func TestCheckCallArity(t *testing.T) {
+	expectTypeError(t, `
+fn f(a: i64) { }
+fn main() { f(); }
+`, "takes 1 arguments, got 0")
+	expectTypeError(t, `
+fn f(a: i64) { }
+fn main() { f(true); }
+`, "have bool, want i64")
+	expectTypeError(t, `fn main() { nosuch(); }`, "unknown function")
+}
+
+func TestCheckBorrowArguments(t *testing.T) {
+	expectTypeError(t, `
+fn f(v: &mut Vec<i64>) { }
+fn main() { let v = vec![1]; f(&mut v); }
+`, "cannot mutably borrow immutable binding")
+	if _, err := mustCheck(`
+fn f(v: &mut Vec<i64>) { }
+fn main() { let mut v = vec![1]; f(&mut v); }
+`); err != nil {
+		t.Fatal(err)
+	}
+	expectTypeError(t, `
+fn f(v: &Vec<i64>) { }
+fn main() { let v = vec![1]; f(v); }
+`, "have Vec<i64>, want &Vec<i64>")
+}
+
+func TestCheckReturnPaths(t *testing.T) {
+	expectTypeError(t, `
+fn f() -> i64 { }
+fn main() { }
+`, "missing return")
+	expectTypeError(t, `
+fn f() -> i64 { if true { return 1; } }
+fn main() { }
+`, "missing return")
+	if _, err := mustCheck(`
+fn f(c: bool) -> i64 { if c { return 1; } else { return 2; } }
+fn main() { }
+`); err != nil {
+		t.Fatal(err)
+	}
+	expectTypeError(t, `
+fn f() -> i64 { return true; }
+fn main() { }
+`, "return bool from function returning i64")
+	expectTypeError(t, `
+fn f() -> i64 { return; }
+fn main() { }
+`, "return without value")
+}
+
+func TestCheckMethodResolution(t *testing.T) {
+	expectTypeError(t, `
+struct S { a: i64 }
+fn main() { let s = S { a: 1 }; s.nope(); }
+`, "has no method nope")
+	expectTypeError(t, `
+struct S { a: i64 }
+impl S { fn assoc() { } }
+fn main() { let s = S { a: 1 }; s.assoc(); }
+`, "associated function")
+	expectTypeError(t, `
+struct S { a: i64 }
+impl S { fn m(&mut self) { } }
+fn main() { let s = S { a: 1 }; s.m(); }
+`, "cannot mutably borrow immutable binding")
+	if _, err := mustCheck(`
+struct S { a: i64 }
+impl S { fn m(&mut self) { } }
+fn main() { let mut s = S { a: 1 }; s.m(); }
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMethodThroughSharedRef(t *testing.T) {
+	expectTypeError(t, `
+struct S { a: i64 }
+impl S {
+    fn m(&mut self) { }
+    fn caller(&self) { self.m(); }
+}
+fn main() { }
+`, "requires &mut self but receiver is a shared reference")
+}
+
+func TestCheckConsumingMethodThroughRef(t *testing.T) {
+	expectTypeError(t, `
+struct S { a: i64 }
+impl S {
+    fn consume(self) { }
+    fn caller(&self) { self.consume(); }
+}
+fn main() { }
+`, "consumes self")
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	expectTypeError(t, `fn main() { assert(1); }`, "assert takes one bool")
+	expectTypeError(t, `fn main() { let v = vec![1]; vec_len(v); }`, "vec_len takes &Vec<T>")
+	expectTypeError(t, `fn main() { let mut v = vec![1]; vec_push(&v, 1); }`, "vec_push takes (&mut Vec<T>, T)")
+	expectTypeError(t, `fn main() { let mut v = vec![1]; vec_push(&mut v, true); }`, "vec_push element")
+	expectTypeError(t, `fn main() { let v = vec![vec![1]]; let x = vec_get(&v, 0); }`, "copyable element")
+	expectTypeError(t, `fn main() { let x = declassify(1, 2); }`, "string literal")
+	expectTypeError(t, `fn main() { assert_label_max(1); }`, "assert_label_max takes")
+	if _, err := mustCheck(`
+fn main() {
+    let mut v = vec![1];
+    vec_push(&mut v, 2);
+    let n = vec_len(&v);
+    let x = vec_get(&v, 0);
+    assert(n == 2);
+    println(v, n, x);
+    let d = declassify(5, "public");
+    assert_label_max(d, "public");
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRefsNotFirstClass(t *testing.T) {
+	expectTypeError(t, `fn main() { let v = vec![1]; let r = &v; }`, "let bindings cannot hold references")
+	expectTypeError(t, `
+struct S { r: &i64 }
+fn main() { }
+`, "reference-typed fields")
+	expectTypeError(t, `
+fn f() -> &i64 { }
+fn main() { }
+`, "returning references")
+}
+
+func TestCheckDuplicateParam(t *testing.T) {
+	expectTypeError(t, `fn f(a: i64, a: bool) { } fn main() { }`, "duplicate parameter")
+}
+
+func TestCheckLetUnitRejected(t *testing.T) {
+	expectTypeError(t, `
+fn f() { }
+fn main() { let x = f(); }
+`, "cannot bind unit")
+}
+
+func TestCheckFieldOnNonStruct(t *testing.T) {
+	expectTypeError(t, `fn main() { let x = 1; let y = x.f; }`, "is not a struct")
+}
+
+func TestIsCopySemantics(t *testing.T) {
+	if !TypeI64.IsCopy() || !TypeBool.IsCopy() || !TypeStr.IsCopy() || !TypeUnit.IsCopy() {
+		t.Fatal("scalars must be Copy")
+	}
+	if VecOf(TypeI64).IsCopy() {
+		t.Fatal("Vec must move")
+	}
+	if (Type{Name: "S"}).IsCopy() {
+		t.Fatal("structs must move")
+	}
+	if !RefTo(VecOf(TypeI64), true).IsCopy() {
+		t.Fatal("borrows must be Copy")
+	}
+}

@@ -1,0 +1,400 @@
+// Package netbricks reimplements the slice of the NetBricks NF framework
+// that the paper's §3 evaluation runs on: batches of packets retrieved
+// from a (simulated) DPDK port and processed to completion through a
+// pipeline of operators, where linear types ensure only one pipeline stage
+// can access a batch at any time.
+//
+// Two pipeline drivers are provided:
+//
+//   - Pipeline passes batches between stages via plain function calls —
+//     the baseline NetBricks architecture, which (as the paper notes) has
+//     no fault containment or recovery; and
+//   - IsolatedPipeline places every stage in its own sfi.Domain and
+//     replaces the function calls with remote invocations that move the
+//     batch across the protection boundary — the paper's experiment.
+//
+// The overhead difference between the two, divided by pipeline length, is
+// the per-remote-invocation cost plotted in Figure 2.
+package netbricks
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dpdk"
+	"repro/internal/linear"
+	"repro/internal/packet"
+	"repro/internal/sfi"
+)
+
+// Batch is the unit of work: a burst of packets fetched from a port.
+// Exactly one stage owns a batch at a time; the drivers enforce this by
+// moving linear.Owned[*Batch] handles between stages.
+type Batch struct {
+	Pkts    []*packet.Packet
+	Dropped []*packet.Packet // packets removed by filters, freed by the runner
+}
+
+// Len reports the number of live packets in the batch.
+func (b *Batch) Len() int { return len(b.Pkts) }
+
+// Drop removes the packet at index i (order not preserved) and records it
+// for the runner to free.
+func (b *Batch) Drop(i int) {
+	b.Dropped = append(b.Dropped, b.Pkts[i])
+	last := len(b.Pkts) - 1
+	b.Pkts[i] = b.Pkts[last]
+	b.Pkts[last] = nil
+	b.Pkts = b.Pkts[:last]
+}
+
+// Operator is one pipeline stage. ProcessBatch mutates the batch in place
+// and must not retain references to it after returning — ownership moves
+// on to the next stage (the drivers enforce this for the isolated case and
+// the direct case alike via the linear layer).
+type Operator interface {
+	// Name identifies the stage in errors and stats.
+	Name() string
+	// ProcessBatch processes every packet in the batch.
+	ProcessBatch(b *Batch) error
+}
+
+// NullFilter forwards batches without touching them — the Figure 2
+// measurement operator ("null-filters, which forward batches of packets
+// without doing any work on them").
+type NullFilter struct{}
+
+// Name implements Operator.
+func (NullFilter) Name() string { return "null-filter" }
+
+// ProcessBatch implements Operator: it does no work.
+func (NullFilter) ProcessBatch(*Batch) error { return nil }
+
+// Parse parses every packet, dropping ones that fail.
+type Parse struct{}
+
+// Name implements Operator.
+func (Parse) Name() string { return "parse" }
+
+// ProcessBatch implements Operator.
+func (Parse) ProcessBatch(b *Batch) error {
+	for i := 0; i < len(b.Pkts); {
+		if err := b.Pkts[i].Parse(); err != nil {
+			b.Drop(i)
+			continue
+		}
+		i++
+	}
+	return nil
+}
+
+// Filter drops packets failing a predicate.
+type Filter struct {
+	Label string
+	Pred  func(*packet.Packet) bool
+}
+
+// Name implements Operator.
+func (f Filter) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "filter"
+}
+
+// ProcessBatch implements Operator.
+func (f Filter) ProcessBatch(b *Batch) error {
+	for i := 0; i < len(b.Pkts); {
+		if !f.Pred(b.Pkts[i]) {
+			b.Drop(i)
+			continue
+		}
+		i++
+	}
+	return nil
+}
+
+// Transform applies fn to every packet.
+type Transform struct {
+	Label string
+	Fn    func(*packet.Packet) error
+}
+
+// Name implements Operator.
+func (t Transform) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return "transform"
+}
+
+// ProcessBatch implements Operator.
+func (t Transform) ProcessBatch(b *Batch) error {
+	for _, p := range b.Pkts {
+		if err := t.Fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultInjector panics on the Nth batch it sees — the §3 recovery
+// experiment "simulating a panic in the null-filter".
+type FaultInjector struct {
+	PanicOn int // 1-based batch index to panic on; 0 = never
+	seen    int
+}
+
+// Name implements Operator.
+func (f *FaultInjector) Name() string { return "fault-injector" }
+
+// ProcessBatch implements Operator.
+func (f *FaultInjector) ProcessBatch(*Batch) error {
+	f.seen++
+	if f.PanicOn != 0 && f.seen == f.PanicOn {
+		panic(fmt.Sprintf("injected fault on batch %d", f.seen))
+	}
+	return nil
+}
+
+// Pipeline is the baseline NetBricks driver: stages invoked by direct
+// function calls, batch handed off by moving the linear handle.
+type Pipeline struct {
+	stages []Operator
+}
+
+// NewPipeline builds a direct-call pipeline.
+func NewPipeline(stages ...Operator) *Pipeline {
+	return &Pipeline{stages: stages}
+}
+
+// Len reports the number of stages.
+func (p *Pipeline) Len() int { return len(p.stages) }
+
+// Process runs the batch through every stage. Ownership of the batch moves
+// into Process and back out through the return value.
+func (p *Pipeline) Process(b linear.Owned[*Batch]) (linear.Owned[*Batch], error) {
+	for _, st := range p.stages {
+		// Hand-off between stages is a move: the previous holder's handle
+		// dies, exactly as NetBricks' linear types guarantee that "only
+		// one pipeline stage can access the batch at any time".
+		next, err := b.Move()
+		if err != nil {
+			return b, fmt.Errorf("pipeline stage %s: %w", st.Name(), err)
+		}
+		b = next
+		var perr error
+		if err := b.With(func(batch *Batch) { perr = st.ProcessBatch(batch) }); err != nil {
+			return b, fmt.Errorf("pipeline stage %s: %w", st.Name(), err)
+		}
+		if perr != nil {
+			return b, fmt.Errorf("pipeline stage %s: %w", st.Name(), perr)
+		}
+	}
+	return b, nil
+}
+
+// IsolatedStage is one pipeline stage wrapped in its own protection
+// domain.
+type IsolatedStage struct {
+	Domain *sfi.Domain
+	RRef   *sfi.RRef[Operator]
+}
+
+// IsolatedPipeline runs every stage in a separate protection domain,
+// replacing function calls with remote invocations (§3: "we use our SFI
+// library to isolate every pipeline component in a separate protection
+// domain").
+type IsolatedPipeline struct {
+	mgr    *sfi.Manager
+	stages []*IsolatedStage
+}
+
+// ErrStageFailed wraps a stage fault with its index.
+var ErrStageFailed = errors.New("netbricks: stage failed")
+
+// NewIsolatedPipeline exports each operator into a fresh domain under mgr.
+// Each domain's recovery function re-exports a fresh operator produced by
+// the corresponding factory (falling back to reusing the operator when no
+// factory is given).
+func NewIsolatedPipeline(mgr *sfi.Manager, stages []Operator, factories []func() Operator) (*IsolatedPipeline, error) {
+	ip := &IsolatedPipeline{mgr: mgr}
+	for i, op := range stages {
+		d := mgr.NewDomain(fmt.Sprintf("stage-%d-%s", i, op.Name()))
+		rref, err := sfi.Export[Operator](d, op)
+		if err != nil {
+			return nil, fmt.Errorf("export stage %d: %w", i, err)
+		}
+		slot := rref.Slot()
+		var factory func() Operator
+		if factories != nil && i < len(factories) && factories[i] != nil {
+			factory = factories[i]
+		} else {
+			opCopy := op
+			factory = func() Operator { return opCopy }
+		}
+		d.SetRecovery(func(d *sfi.Domain) error {
+			return sfi.ExportAt[Operator](d, slot, factory())
+		})
+		ip.stages = append(ip.stages, &IsolatedStage{Domain: d, RRef: rref})
+	}
+	return ip, nil
+}
+
+// Len reports the number of stages.
+func (p *IsolatedPipeline) Len() int { return len(p.stages) }
+
+// Stages exposes the isolated stages (for fault-injection tests and the
+// recovery benchmark).
+func (p *IsolatedPipeline) Stages() []*IsolatedStage { return p.stages }
+
+// Process runs the batch through every stage via remote invocation. The
+// batch crosses each protection boundary by move — zero copies — and
+// comes back the same way. If a stage panics, the batch is lost with the
+// failed domain and an error wrapping ErrStageFailed and
+// sfi.ErrDomainFailed is returned.
+func (p *IsolatedPipeline) Process(ctx *sfi.Context, b linear.Owned[*Batch]) (linear.Owned[*Batch], error) {
+	for i, st := range p.stages {
+		out, err := sfi.CallMove(ctx, st.RRef, "process", b,
+			func(op Operator, batch linear.Owned[*Batch]) (linear.Owned[*Batch], error) {
+				var perr error
+				if err := batch.With(func(bb *Batch) { perr = op.ProcessBatch(bb) }); err != nil {
+					return batch, err
+				}
+				return batch, perr
+			})
+		if err != nil {
+			return linear.Owned[*Batch]{}, fmt.Errorf("stage %d (%s): %w: %w",
+				i, st.Domain.Name(), ErrStageFailed, err)
+		}
+		b = out
+	}
+	return b, nil
+}
+
+// Recover recovers every failed stage domain.
+func (p *IsolatedPipeline) Recover() error {
+	for _, st := range p.stages {
+		if st.Domain.Failed() {
+			if err := p.mgr.Recover(st.Domain); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunStats summarizes a runner session.
+type RunStats struct {
+	Batches   int
+	Packets   uint64
+	Drops     uint64
+	Faults    int
+	Recovered int
+}
+
+// Runner drives a port through a pipeline run-to-completion: fetch a
+// batch, process it fully, transmit, repeat — the paper's execution model
+// ("processes the batch to completion before starting the next batch").
+type Runner struct {
+	Port      *dpdk.Port
+	BatchSize int
+	// Direct and Isolated are alternatives; exactly one must be set.
+	Direct   *Pipeline
+	Isolated *IsolatedPipeline
+	// AutoRecover makes the runner recover failed stages and continue.
+	AutoRecover bool
+}
+
+// RunParallel drives the pipeline from workers goroutines, each with its
+// own port (traffic source) and its own sfi.Context — the explicit
+// per-worker stand-in for the paper's thread-local current-domain store.
+// Domains are shared across workers; their counters are atomic. Each
+// worker processes n batches; aggregated stats and the first error are
+// returned.
+func (r *Runner) RunParallel(workers, n int, mkPort func(worker int) *dpdk.Port) (RunStats, error) {
+	if workers <= 0 {
+		return RunStats{}, errors.New("netbricks: workers must be positive")
+	}
+	type result struct {
+		stats RunStats
+		err   error
+	}
+	results := make(chan result, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			worker := *r // copy the config; swap in the worker's port
+			worker.Port = mkPort(w)
+			stats, err := worker.Run(sfi.NewContext(), n)
+			results <- result{stats: stats, err: err}
+		}(w)
+	}
+	var agg RunStats
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		res := <-results
+		agg.Batches += res.stats.Batches
+		agg.Packets += res.stats.Packets
+		agg.Drops += res.stats.Drops
+		agg.Faults += res.stats.Faults
+		agg.Recovered += res.stats.Recovered
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+	}
+	return agg, firstErr
+}
+
+// Run processes n batches and reports stats. Packets dropped by filters
+// and batches lost to faults are freed back to the port pool.
+func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
+	if (r.Direct == nil) == (r.Isolated == nil) {
+		return RunStats{}, errors.New("netbricks: set exactly one of Direct or Isolated")
+	}
+	if r.BatchSize <= 0 {
+		return RunStats{}, errors.New("netbricks: BatchSize must be positive")
+	}
+	var stats RunStats
+	buf := make([]*packet.Packet, r.BatchSize)
+	for i := 0; i < n; i++ {
+		got := r.Port.RxBurst(buf)
+		if got == 0 {
+			break
+		}
+		batch := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
+		owned := linear.New(batch)
+		var err error
+		if r.Direct != nil {
+			owned, err = r.Direct.Process(owned)
+		} else {
+			owned, err = r.Isolated.Process(ctx, owned)
+		}
+		if err != nil {
+			stats.Faults++
+			// The batch went down with the domain; its buffers are
+			// unreachable through the linear layer, but the simulation
+			// must return them to the pool (real DPDK would leak them
+			// until pool destruction; the manager reclaims domain memory
+			// by clearing the reference table, which the GC then frees).
+			r.Port.Free(buf[:got])
+			if r.AutoRecover && r.Isolated != nil {
+				if rerr := r.Isolated.Recover(); rerr != nil {
+					return stats, rerr
+				}
+				stats.Recovered++
+				continue
+			}
+			return stats, err
+		}
+		final, err := owned.Into()
+		if err != nil {
+			return stats, err
+		}
+		stats.Batches++
+		stats.Packets += uint64(len(final.Pkts))
+		stats.Drops += uint64(len(final.Dropped))
+		r.Port.TxBurst(final.Pkts)
+		r.Port.Free(final.Dropped)
+	}
+	return stats, nil
+}

@@ -1,0 +1,370 @@
+package netbricks
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dpdk"
+	"repro/internal/linear"
+	"repro/internal/packet"
+	"repro/internal/sfi"
+)
+
+func newPort(pool int) *dpdk.Port {
+	return dpdk.NewPort(dpdk.Config{PoolSize: pool})
+}
+
+func TestDirectPipelineNullFilters(t *testing.T) {
+	port := newPort(128)
+	pl := NewPipeline(NullFilter{}, NullFilter{}, NullFilter{})
+	r := &Runner{Port: port, BatchSize: 32, Direct: pl}
+	stats, err := r.Run(sfi.NewContext(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 10 || stats.Packets != 320 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if port.PoolAvailable() != 128 {
+		t.Fatalf("pool leak: %d", port.PoolAvailable())
+	}
+}
+
+func TestPipelineMoveSemantics(t *testing.T) {
+	// After Process, the caller's original handle must be dead: the
+	// pipeline took ownership.
+	pl := NewPipeline(NullFilter{})
+	b := linear.New(&Batch{})
+	orig := b
+	out, err := pl.Process(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Valid() {
+		t.Fatal("original handle still valid after pipeline took ownership")
+	}
+	if !out.Valid() {
+		t.Fatal("returned handle invalid")
+	}
+}
+
+func TestParseAndFilterDropping(t *testing.T) {
+	port := newPort(64)
+	evenPort := Filter{Label: "even-src", Pred: func(p *packet.Packet) bool {
+		return p.Tuple().SrcPort%2 == 0
+	}}
+	pl := NewPipeline(Parse{}, evenPort)
+	r := &Runner{Port: port, BatchSize: 16, Direct: pl}
+	stats, err := r.Run(sfi.NewContext(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets+stats.Drops != 64 {
+		t.Fatalf("packets %d + drops %d != 64", stats.Packets, stats.Drops)
+	}
+	if port.PoolAvailable() != 64 {
+		t.Fatalf("pool leak after drops: %d", port.PoolAvailable())
+	}
+}
+
+func TestTransformError(t *testing.T) {
+	pl := NewPipeline(Transform{Fn: func(*packet.Packet) error {
+		return errors.New("bad packet")
+	}})
+	b := linear.New(&Batch{Pkts: []*packet.Packet{{}}})
+	_, err := pl.Process(b)
+	if err == nil {
+		t.Fatal("transform error not surfaced")
+	}
+}
+
+func TestIsolatedPipelineProcesses(t *testing.T) {
+	mgr := sfi.NewManager()
+	ip, err := NewIsolatedPipeline(mgr, []Operator{NullFilter{}, NullFilter{}, NullFilter{}, NullFilter{}, NullFilter{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Len() != 5 {
+		t.Fatalf("Len = %d", ip.Len())
+	}
+	port := newPort(64)
+	r := &Runner{Port: port, BatchSize: 8, Isolated: ip}
+	stats, err := r.Run(sfi.NewContext(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 5 || stats.Packets != 40 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Every stage domain saw every batch.
+	for _, st := range ip.Stages() {
+		calls, _, _, _, _ := st.Domain.Stats.Snapshot()
+		if calls != 5 {
+			t.Fatalf("stage %s calls = %d, want 5", st.Domain.Name(), calls)
+		}
+	}
+}
+
+func TestIsolatedPipelineZeroCopy(t *testing.T) {
+	// The same underlying packet buffers flow through all domains: no
+	// copies are made crossing protection boundaries.
+	mgr := sfi.NewManager()
+	var seen []*packet.Packet
+	spy := Transform{Label: "spy", Fn: func(p *packet.Packet) error {
+		seen = append(seen, p)
+		return nil
+	}}
+	ip, err := NewIsolatedPipeline(mgr, []Operator{spy}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &packet.Packet{Data: []byte{1, 2, 3}}
+	b := linear.New(&Batch{Pkts: []*packet.Packet{pkt}})
+	out, err := ip.Process(sfi.NewContext(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != pkt {
+		t.Fatal("stage saw a copy, not the original packet")
+	}
+	final, err := out.Into()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Pkts[0] != pkt {
+		t.Fatal("caller got back a copy, not the original packet")
+	}
+}
+
+func TestIsolatedPipelineFaultContainmentAndRecovery(t *testing.T) {
+	mgr := sfi.NewManager()
+	inj := &FaultInjector{PanicOn: 3}
+	ops := []Operator{NullFilter{}, inj, NullFilter{}}
+	factories := []func() Operator{
+		nil,
+		func() Operator { return &FaultInjector{} }, // recovered stage never panics again
+		nil,
+	}
+	ip, err := NewIsolatedPipeline(mgr, ops, factories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := newPort(64)
+	r := &Runner{Port: port, BatchSize: 4, Isolated: ip, AutoRecover: true}
+	stats, err := r.Run(sfi.NewContext(), 10)
+	if err != nil {
+		t.Fatalf("run with auto-recover: %v", err)
+	}
+	if stats.Faults != 1 || stats.Recovered != 1 {
+		t.Fatalf("stats = %+v, want 1 fault + 1 recovery", stats)
+	}
+	if stats.Batches != 9 { // one batch lost to the fault
+		t.Fatalf("batches = %d, want 9", stats.Batches)
+	}
+	if port.PoolAvailable() != 64 {
+		t.Fatalf("pool leak after fault: %d", port.PoolAvailable())
+	}
+	for _, st := range ip.Stages() {
+		if st.Domain.Failed() {
+			t.Fatalf("stage %s still failed", st.Domain.Name())
+		}
+	}
+}
+
+func TestIsolatedPipelineFaultWithoutRecoveryStops(t *testing.T) {
+	mgr := sfi.NewManager()
+	ip, err := NewIsolatedPipeline(mgr, []Operator{&FaultInjector{PanicOn: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := newPort(16)
+	r := &Runner{Port: port, BatchSize: 4, Isolated: ip}
+	_, err = r.Run(sfi.NewContext(), 5)
+	if !errors.Is(err, ErrStageFailed) || !errors.Is(err, sfi.ErrDomainFailed) {
+		t.Fatalf("err = %v, want ErrStageFailed wrapping ErrDomainFailed", err)
+	}
+	if port.PoolAvailable() != 16 {
+		t.Fatalf("pool leak: %d", port.PoolAvailable())
+	}
+}
+
+func TestRunParallelAggregates(t *testing.T) {
+	mgr := sfi.NewManager()
+	ip, err := NewIsolatedPipeline(mgr, []Operator{Parse{}, NullFilter{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BatchSize: 8, Isolated: ip}
+	stats, err := r.RunParallel(4, 25, func(int) *dpdk.Port {
+		return dpdk.NewPort(dpdk.Config{PoolSize: 64})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 100 || stats.Packets != 800 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Both shared stage domains saw all workers' calls.
+	for _, st := range ip.Stages() {
+		calls, _, _, _, _ := st.Domain.Stats.Snapshot()
+		if calls != 100 {
+			t.Fatalf("stage %s calls = %d", st.Domain.Name(), calls)
+		}
+	}
+}
+
+func TestRunParallelFaultsContainedPerWorker(t *testing.T) {
+	mgr := sfi.NewManager()
+	// One injector shared by all workers panics once; with AutoRecover
+	// every worker continues.
+	ip, err := NewIsolatedPipeline(mgr,
+		[]Operator{&FaultInjector{PanicOn: 10}},
+		[]func() Operator{func() Operator { return &FaultInjector{} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BatchSize: 4, Isolated: ip, AutoRecover: true}
+	stats, err := r.RunParallel(4, 20, func(int) *dpdk.Port {
+		return dpdk.NewPort(dpdk.Config{PoolSize: 32})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Faults < 1 {
+		t.Fatalf("no faults recorded: %+v", stats)
+	}
+	if stats.Batches+stats.Faults != 80 {
+		t.Fatalf("batches %d + faults %d != 80", stats.Batches, stats.Faults)
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	r := &Runner{BatchSize: 4, Direct: NewPipeline()}
+	if _, err := r.RunParallel(0, 1, func(int) *dpdk.Port { return newPort(4) }); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	port := newPort(8)
+	r := &Runner{Port: port, BatchSize: 4}
+	if _, err := r.Run(sfi.NewContext(), 1); err == nil {
+		t.Fatal("runner with no pipeline accepted")
+	}
+	r2 := &Runner{Port: port, BatchSize: 0, Direct: NewPipeline()}
+	if _, err := r2.Run(sfi.NewContext(), 1); err == nil {
+		t.Fatal("runner with zero batch size accepted")
+	}
+	both := &Runner{Port: port, BatchSize: 4, Direct: NewPipeline(), Isolated: &IsolatedPipeline{}}
+	if _, err := both.Run(sfi.NewContext(), 1); err == nil {
+		t.Fatal("runner with both pipelines accepted")
+	}
+}
+
+func TestBatchDrop(t *testing.T) {
+	pkts := []*packet.Packet{{UserTag: 1}, {UserTag: 2}, {UserTag: 3}}
+	b := &Batch{Pkts: append([]*packet.Packet(nil), pkts...)}
+	b.Drop(0)
+	if b.Len() != 2 || len(b.Dropped) != 1 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), len(b.Dropped))
+	}
+	if b.Dropped[0].UserTag != 1 {
+		t.Fatal("wrong packet dropped")
+	}
+	// Remaining packets are 3 and 2 (swap-remove).
+	tags := map[uint64]bool{}
+	for _, p := range b.Pkts {
+		tags[p.UserTag] = true
+	}
+	if !tags[2] || !tags[3] {
+		t.Fatalf("remaining tags = %v", tags)
+	}
+}
+
+func TestFaultInjectorCountsBatches(t *testing.T) {
+	inj := &FaultInjector{PanicOn: 2}
+	if err := inj.ProcessBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on second batch")
+		}
+	}()
+	_ = inj.ProcessBatch(nil)
+}
+
+func TestOperatorNames(t *testing.T) {
+	cases := []struct {
+		op   Operator
+		want string
+	}{
+		{NullFilter{}, "null-filter"},
+		{Parse{}, "parse"},
+		{Filter{}, "filter"},
+		{Filter{Label: "x"}, "x"},
+		{Transform{}, "transform"},
+		{Transform{Label: "y"}, "y"},
+		{&FaultInjector{}, "fault-injector"},
+	}
+	for _, c := range cases {
+		if got := c.op.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Sanity for Figure 2 prerequisites: overhead of the isolated pipeline is
+// per-stage, so doubling stages roughly doubles total overhead; measured
+// per-call it should be roughly constant. Tested loosely here; precise
+// numbers come from the bench harness.
+func TestIsolationOverheadScalesWithStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	mk := func(n int) (*IsolatedPipeline, *Pipeline) {
+		var ops []Operator
+		for i := 0; i < n; i++ {
+			ops = append(ops, NullFilter{})
+		}
+		mgr := sfi.NewManager()
+		ip, err := NewIsolatedPipeline(mgr, ops, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ip, NewPipeline(ops...)
+	}
+	run := func(ip *IsolatedPipeline, pl *Pipeline, batches int) (int, int) {
+		ctx := sfi.NewContext()
+		isoCalls := 0
+		for i := 0; i < batches; i++ {
+			b := linear.New(&Batch{})
+			out, err := ip.Process(ctx, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := out.Into(); err != nil {
+				t.Fatal(err)
+			}
+			isoCalls++
+			b2 := linear.New(&Batch{})
+			out2, err := pl.Process(b2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := out2.Into(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return isoCalls, batches
+	}
+	ip5, pl5 := mk(5)
+	run(ip5, pl5, 100)
+	for _, st := range ip5.Stages() {
+		calls, _, _, _, _ := st.Domain.Stats.Snapshot()
+		if calls != 100 {
+			t.Fatalf("stage saw %d calls, want 100", calls)
+		}
+	}
+
+}

@@ -1,0 +1,195 @@
+// Package rollback implements rollback-recovery for stateful network
+// functions — the §5 application the paper cites from Sherry et al. [37]
+// ("Rollback-recovery for middleboxes") — by composing the two mechanisms
+// this repository builds: §3 fault isolation (a crashing NF stage is
+// contained in its protection domain) and §5 automatic checkpointing
+// (the stage's state graph is snapshotted without hand-written
+// serialization code).
+//
+// A Guard wraps a stateful operator. Every checkpoint interval it
+// snapshots the operator's state with the Rc-aware engine; when the
+// operator's domain faults, the recovery function installs a fresh
+// operator and restores the last snapshot into it, so the NF resumes with
+// bounded state loss (at most the batches processed since the last
+// checkpoint) instead of the clean-slate recovery of plain §3.
+package rollback
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/netbricks"
+	"repro/internal/sfi"
+)
+
+// StatefulOperator is a pipeline stage with externalizable NF state. The
+// state graph must be checkpointable (exported fields; sharing through
+// checkpoint.Rc).
+type StatefulOperator interface {
+	netbricks.Operator
+	// ExportState returns the operator's current state graph. The guard
+	// checkpoints it; the operator retains ownership.
+	ExportState() any
+	// ImportState installs a restored state graph (of the same dynamic
+	// type ExportState returns).
+	ImportState(state any) error
+}
+
+// ErrNoSnapshot reports a restore attempt before any checkpoint was
+// taken.
+var ErrNoSnapshot = errors.New("rollback: no snapshot taken yet")
+
+// Guard manages checkpointing and restore for one stateful stage. It is
+// the management-plane side: it lives outside the protection domain, so
+// it survives the domain's faults.
+type Guard struct {
+	mu       sync.Mutex
+	eng      *checkpoint.Engine
+	factory  func() StatefulOperator
+	interval int // checkpoint every N batches; min 1
+
+	current     StatefulOperator
+	sinceCkpt   int
+	snap        *checkpoint.Snapshot
+	snapBatches uint64 // batches processed when the snapshot was taken
+	processed   uint64 // batches processed in total
+	restores    uint64
+	checkpoints uint64
+}
+
+// NewGuard wraps the operator produced by factory, checkpointing its
+// state every interval batches (interval < 1 is treated as 1).
+func NewGuard(factory func() StatefulOperator, interval int) (*Guard, error) {
+	if interval < 1 {
+		interval = 1
+	}
+	g := &Guard{
+		eng:      checkpoint.NewEngine(checkpoint.RcAware),
+		factory:  factory,
+		interval: interval,
+		current:  factory(),
+	}
+	// Take the initial snapshot so a fault before the first interval
+	// still restores to a defined state.
+	if err := g.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Name implements netbricks.Operator.
+func (g *Guard) Name() string { return g.currentOp().Name() + "+rollback" }
+
+func (g *Guard) currentOp() StatefulOperator {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.current
+}
+
+// ProcessBatch implements netbricks.Operator: it delegates to the wrapped
+// operator and takes a checkpoint at the configured cadence.
+func (g *Guard) ProcessBatch(b *netbricks.Batch) error {
+	g.mu.Lock()
+	op := g.current
+	g.mu.Unlock()
+	if err := op.ProcessBatch(b); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.processed++
+	g.sinceCkpt++
+	if g.sinceCkpt >= g.interval {
+		if err := g.checkpointLocked(); err != nil {
+			return fmt.Errorf("rollback: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+func (g *Guard) checkpointLocked() error {
+	snap, err := g.eng.Checkpoint(g.current.ExportState())
+	if err != nil {
+		return err
+	}
+	g.snap = snap
+	g.snapBatches = g.processed
+	g.sinceCkpt = 0
+	g.checkpoints++
+	return nil
+}
+
+// RecoverOperator builds the replacement operator for the stage's
+// recovery function: a fresh operator with the last snapshot's state
+// installed. The §3 recovery protocol (clear table, re-export) stays
+// unchanged; only the operator it re-exports differs.
+func (g *Guard) RecoverOperator() (netbricks.Operator, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.snap == nil {
+		return nil, ErrNoSnapshot
+	}
+	fresh := g.factory()
+	// Materialize a mutable copy of the snapshot; ImportState installs it
+	// (asserting its own state type).
+	restored, err := g.snap.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("rollback: restore: %w", err)
+	}
+	if err := fresh.ImportState(restored); err != nil {
+		return nil, fmt.Errorf("rollback: import: %w", err)
+	}
+	g.current = fresh
+	g.restores++
+	// The batches between the snapshot and the fault are lost.
+	g.processed = g.snapBatches
+	g.sinceCkpt = 0
+	return g, nil
+}
+
+// State returns the wrapped operator's live state graph, for replication
+// or inspection. Callers must treat it as read-only; use the checkpoint
+// machinery (txn.Store, Snapshot) for mutable copies.
+func (g *Guard) State() any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.current.ExportState()
+}
+
+// Stats reports processed batches (post-rollback), checkpoints taken, and
+// restores performed.
+func (g *Guard) Stats() (processed, checkpoints, restores uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.processed, g.checkpoints, g.restores
+}
+
+// BatchesAtRisk reports how many processed batches would be lost if the
+// stage faulted right now.
+func (g *Guard) BatchesAtRisk() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sinceCkpt
+}
+
+// NewGuardedStage exports the guard into a fresh protection domain under
+// mgr and wires its recovery function to restore-from-snapshot: the full
+// middlebox rollback-recovery loop.
+func NewGuardedStage(mgr *sfi.Manager, name string, g *Guard) (*netbricks.IsolatedStage, error) {
+	d := mgr.NewDomain(name)
+	rref, err := sfi.Export[netbricks.Operator](d, netbricks.Operator(g))
+	if err != nil {
+		return nil, err
+	}
+	slot := rref.Slot()
+	d.SetRecovery(func(d *sfi.Domain) error {
+		op, err := g.RecoverOperator()
+		if err != nil {
+			return err
+		}
+		return sfi.ExportAt[netbricks.Operator](d, slot, op)
+	})
+	return &netbricks.IsolatedStage{Domain: d, RRef: rref}, nil
+}

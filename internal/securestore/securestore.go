@@ -1,0 +1,152 @@
+// Package securestore contains the paper's §4 case study: "a simple
+// secure data store … which stores data on behalf of multiple clients,
+// while preventing non-privileged clients from reading data belonging to
+// privileged ones. The security-label bounds were specified in the
+// example program through the use of assertions."
+//
+// The store is written in minirust and verified with internal/verifier.
+// As in the paper's sanity check, seeded bugs in the access-check logic
+// (the Variant values) must each be discovered by the verifier, while the
+// correct implementation verifies clean.
+package securestore
+
+import (
+	"fmt"
+
+	"repro/internal/verifier"
+)
+
+// Variant selects the store implementation: the correct one or one with a
+// seeded access-check bug.
+type Variant int
+
+// Store variants.
+const (
+	// Correct is the properly access-checked store.
+	Correct Variant = iota
+	// BugSwappedCheck inverts the privilege check in put: privileged
+	// (secret) writes land in the public partition.
+	BugSwappedCheck
+	// BugMissingCheck drops the privilege check entirely: every write
+	// lands in the public partition.
+	BugMissingCheck
+	// BugLeakyRead makes the non-privileged read path return the secret
+	// partition.
+	BugLeakyRead
+)
+
+// Variants lists all store variants.
+var Variants = []Variant{Correct, BugSwappedCheck, BugMissingCheck, BugLeakyRead}
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case BugSwappedCheck:
+		return "bug-swapped-check"
+	case BugMissingCheck:
+		return "bug-missing-check"
+	case BugLeakyRead:
+		return "bug-leaky-read"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Buggy reports whether the variant contains a seeded bug.
+func (v Variant) Buggy() bool { return v != Correct }
+
+// Source renders the store program for the given variant.
+func Source(v Variant) string {
+	// put: route the write according to the privilege of the client.
+	putBody := `
+        if privileged {
+            append_to(&mut self.sec_data, &v);
+        } else {
+            append_to(&mut self.pub_data, &v);
+        }`
+	switch v {
+	case BugSwappedCheck:
+		putBody = `
+        if privileged {
+            append_to(&mut self.pub_data, &v); // SEEDED BUG: swapped
+        } else {
+            append_to(&mut self.sec_data, &v); // SEEDED BUG: swapped
+        }`
+	case BugMissingCheck:
+		putBody = `
+        append_to(&mut self.pub_data, &v); // SEEDED BUG: check removed`
+	}
+	readExpr := "copy_of(&self.pub_data)"
+	if v == BugLeakyRead {
+		readExpr = "copy_of(&self.sec_data)" // SEEDED BUG: wrong partition
+	}
+
+	return fmt.Sprintf(`
+labels public < secret;
+
+struct Store {
+    pub_data: Vec<i64>,
+    sec_data: Vec<i64>,
+}
+
+// append_to copies src's elements onto the end of dst.
+fn append_to(dst: &mut Vec<i64>, src: &Vec<i64>) {
+    let n = vec_len(src);
+    let mut i = 0;
+    while i < n {
+        vec_push(dst, vec_get(src, i));
+        i = i + 1;
+    }
+}
+
+// copy_of returns a fresh vector with src's contents.
+fn copy_of(src: &Vec<i64>) -> Vec<i64> {
+    let mut out = vec![];
+    append_to(&mut out, src);
+    return out;
+}
+
+impl Store {
+    fn new() -> Store {
+        return Store { pub_data: vec![], sec_data: vec![] };
+    }
+    // put stores v on behalf of a client; privileged clients' data is
+    // confidential.
+    fn put(&mut self, privileged: bool, v: Vec<i64>) {%s
+    }
+    // read_public serves non-privileged clients: it must only ever
+    // return public-partition data.
+    fn read_public(&self) -> Vec<i64> {
+        return %s;
+    }
+}
+
+fn main() {
+    let mut store = Store::new();
+
+    // A non-privileged client stores public data.
+    #[label(public)]
+    let visitor_data = vec![1, 2, 3];
+    store.put(false, visitor_data);
+
+    // A privileged client stores confidential data.
+    #[label(secret)]
+    let admin_data = vec![900, 901];
+    store.put(true, admin_data);
+
+    // A non-privileged client reads back. The security bound is stated
+    // as an assertion, as in the paper, and the result goes to the
+    // public terminal.
+    let served = store.read_public();
+    assert_label_max(served, "public");
+    println(served);
+}
+`, putBody, readExpr)
+}
+
+// VerifyVariant runs the full verification pipeline on a variant.
+func VerifyVariant(v Variant) *verifier.Report {
+	return verifier.Verify(Source(v))
+}

@@ -1,0 +1,49 @@
+package session_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/session"
+)
+
+// Example runs a request/response session: the protocol is stated once,
+// the peer's side is derived by duality, and a linearity violation —
+// reusing a consumed endpoint — is caught, the error the Rust encoding
+// turns into a compile failure.
+func Example() {
+	// client: !string . ?int . end
+	proto := session.Send("string", session.Recv("int", session.End))
+	client, server := session.New(proto, 1)
+
+	go func() {
+		req, s1, _ := server.Recv()
+		s2, _ := s1.Send(len(req.(string)))
+		_ = s2.Close()
+	}()
+
+	c1, _ := client.Send("hello")
+	resp, c2, _ := c1.Recv()
+	fmt.Println("length:", resp)
+
+	// Linearity: the pre-send handle is consumed.
+	_, err := client.Send("again")
+	fmt.Println("stale handle rejected:", errors.Is(err, session.ErrConsumed))
+	_ = c2
+	// Output:
+	// length: 5
+	// stale handle rejected: true
+}
+
+// ExampleDual shows mechanical protocol duality.
+func ExampleDual() {
+	p := session.Choose(
+		session.Send("int", session.End),
+		session.Recv("string", session.End),
+	)
+	fmt.Println("mine: ", p)
+	fmt.Println("yours:", session.Dual(p))
+	// Output:
+	// mine:  (+){!int.end | ?string.end}
+	// yours: (&){?int.end | !string.end}
+}

@@ -1,0 +1,343 @@
+// Package session implements session-typed channels over the linear
+// ownership substrate — the capability the paper's §2 singles out as
+// "similar in spirit to ours" (Jespersen et al., Session Types for Rust):
+// linear endpoint handles whose protocol state advances with every
+// operation, giving compile-time-style guarantees of protocol adherence.
+//
+// Rust encodes the protocol in the endpoint's type and lets the compiler
+// reject out-of-order operations; Go has no type-level recursion, so this
+// package enforces the protocol dynamically with the same linearity trick
+// used across this repository: every operation consumes the endpoint
+// handle and returns a new one for the protocol's continuation. Using a
+// stale handle — the analogue of reusing a consumed session type — fails
+// with ErrConsumed; performing the wrong operation for the current
+// protocol step fails with ErrProtocol. Both would be compile errors in
+// the Rust encoding; here they are guaranteed-caught runtime errors, and
+// the package's tests play the role of the type checker's soundness
+// argument.
+//
+// Protocols are described with the usual session-type constructors:
+//
+//	Send(T, next)   — send a T, continue as next
+//	Recv(T, next)   — receive a T, continue as next
+//	Choose(a, b)    — internal choice: pick branch a or b
+//	Offer(a, b)     — external choice: peer picks the branch
+//	End             — close the session
+//
+// and Dual mechanically derives the peer's protocol.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors reported by session operations.
+var (
+	// ErrConsumed reports reuse of an endpoint handle that was already
+	// advanced (the linearity violation).
+	ErrConsumed = errors.New("session: endpoint handle already consumed")
+	// ErrProtocol reports an operation that does not match the protocol
+	// step (e.g. Send where the protocol says Recv).
+	ErrProtocol = errors.New("session: operation violates protocol")
+	// ErrClosed reports use of a session after End.
+	ErrClosed = errors.New("session: session closed")
+	// ErrType reports a payload whose type does not match the protocol.
+	ErrType = errors.New("session: payload type mismatch")
+)
+
+// Kind is a protocol constructor.
+type Kind int
+
+// Protocol constructors.
+const (
+	KindEnd Kind = iota
+	KindSend
+	KindRecv
+	KindChoose
+	KindOffer
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindEnd:
+		return "End"
+	case KindSend:
+		return "Send"
+	case KindRecv:
+		return "Recv"
+	case KindChoose:
+		return "Choose"
+	case KindOffer:
+		return "Offer"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Protocol is a session-type tree. Protocols are immutable and may be
+// shared.
+type Protocol struct {
+	Kind Kind
+	// Elem names the payload type for Send/Recv (checked against the
+	// dynamic type of transmitted values; "" disables the check).
+	Elem string
+	// Next is the continuation for Send/Recv.
+	Next *Protocol
+	// Left/Right are the branches for Choose/Offer.
+	Left, Right *Protocol
+}
+
+// End is the terminal protocol.
+var End = &Protocol{Kind: KindEnd}
+
+// Send constructs "send elem, then next".
+func Send(elem string, next *Protocol) *Protocol {
+	return &Protocol{Kind: KindSend, Elem: elem, Next: next}
+}
+
+// Recv constructs "receive elem, then next".
+func Recv(elem string, next *Protocol) *Protocol {
+	return &Protocol{Kind: KindRecv, Elem: elem, Next: next}
+}
+
+// Choose constructs an internal choice between two continuations.
+func Choose(left, right *Protocol) *Protocol {
+	return &Protocol{Kind: KindChoose, Left: left, Right: right}
+}
+
+// Offer constructs an external choice between two continuations.
+func Offer(left, right *Protocol) *Protocol {
+	return &Protocol{Kind: KindOffer, Left: left, Right: right}
+}
+
+// Dual derives the peer's protocol: sends become receives, internal
+// choices become offers, and vice versa.
+func Dual(p *Protocol) *Protocol {
+	if p == nil {
+		return nil
+	}
+	switch p.Kind {
+	case KindEnd:
+		return End
+	case KindSend:
+		return &Protocol{Kind: KindRecv, Elem: p.Elem, Next: Dual(p.Next)}
+	case KindRecv:
+		return &Protocol{Kind: KindSend, Elem: p.Elem, Next: Dual(p.Next)}
+	case KindChoose:
+		return &Protocol{Kind: KindOffer, Left: Dual(p.Left), Right: Dual(p.Right)}
+	case KindOffer:
+		return &Protocol{Kind: KindChoose, Left: Dual(p.Left), Right: Dual(p.Right)}
+	}
+	panic("session: unknown protocol kind")
+}
+
+// Equal reports structural protocol equality.
+func (p *Protocol) Equal(o *Protocol) bool {
+	if p == nil || o == nil {
+		return p == o
+	}
+	if p.Kind != o.Kind || p.Elem != o.Elem {
+		return false
+	}
+	switch p.Kind {
+	case KindSend, KindRecv:
+		return p.Next.Equal(o.Next)
+	case KindChoose, KindOffer:
+		return p.Left.Equal(o.Left) && p.Right.Equal(o.Right)
+	}
+	return true
+}
+
+// String renders the protocol in session-type notation.
+func (p *Protocol) String() string {
+	if p == nil {
+		return "?"
+	}
+	switch p.Kind {
+	case KindEnd:
+		return "end"
+	case KindSend:
+		return fmt.Sprintf("!%s.%s", p.Elem, p.Next)
+	case KindRecv:
+		return fmt.Sprintf("?%s.%s", p.Elem, p.Next)
+	case KindChoose:
+		return fmt.Sprintf("(+){%s | %s}", p.Left, p.Right)
+	case KindOffer:
+		return fmt.Sprintf("(&){%s | %s}", p.Left, p.Right)
+	}
+	return "?"
+}
+
+// Branch labels a choice.
+type Branch int
+
+// Choice branches.
+const (
+	Left Branch = iota
+	Right
+)
+
+// message is what travels on the wire: either a payload or a branch
+// selection.
+type message struct {
+	payload any
+	branch  Branch
+	choice  bool
+}
+
+// channel is the shared transport between the two endpoints: one
+// unidirectional queue per direction, so an endpoint can never dequeue a
+// message it sent itself when the session runs asynchronously.
+type channel struct {
+	ab     chan message // endpoint A -> endpoint B
+	ba     chan message // endpoint B -> endpoint A
+	closed atomic.Bool
+	mu     sync.Mutex
+}
+
+// Endpoint is one linear end of a session. Every operation consumes the
+// receiver and returns the continuation endpoint; the zero Endpoint and
+// consumed endpoints are unusable.
+type Endpoint struct {
+	st *epState
+}
+
+type epState struct {
+	ch       *channel
+	sendQ    chan message
+	recvQ    chan message
+	proto    *Protocol
+	consumed atomic.Bool
+}
+
+// New creates a connected endpoint pair: the first follows proto, the
+// second its dual. buffered > 0 gives an asynchronous session (sends
+// don't block until the buffer fills).
+func New(proto *Protocol, buffered int) (Endpoint, Endpoint) {
+	ch := &channel{
+		ab: make(chan message, buffered),
+		ba: make(chan message, buffered),
+	}
+	return Endpoint{st: &epState{ch: ch, sendQ: ch.ab, recvQ: ch.ba, proto: proto}},
+		Endpoint{st: &epState{ch: ch, sendQ: ch.ba, recvQ: ch.ab, proto: Dual(proto)}}
+}
+
+// Protocol reports the endpoint's remaining protocol (nil if consumed).
+func (e Endpoint) Protocol() *Protocol {
+	if e.st == nil || e.st.consumed.Load() {
+		return nil
+	}
+	return e.st.proto
+}
+
+// take consumes the handle, enforcing linearity, and validates the
+// expected protocol step.
+func (e Endpoint) take(want Kind) (*epState, error) {
+	if e.st == nil {
+		return nil, fmt.Errorf("%s on zero endpoint: %w", want, ErrConsumed)
+	}
+	if !e.st.consumed.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("%s: %w", want, ErrConsumed)
+	}
+	if e.st.proto.Kind == KindEnd && want != KindEnd {
+		return nil, fmt.Errorf("%s after end: %w", want, ErrClosed)
+	}
+	if e.st.proto.Kind != want {
+		return nil, fmt.Errorf("%s where protocol requires %s (%s): %w",
+			want, e.st.proto.Kind, e.st.proto, ErrProtocol)
+	}
+	return e.st, nil
+}
+
+func typeName(v any) string { return fmt.Sprintf("%T", v) }
+
+// Send transmits v and returns the continuation endpoint.
+func (e Endpoint) Send(v any) (Endpoint, error) {
+	st, err := e.take(KindSend)
+	if err != nil {
+		return Endpoint{}, err
+	}
+	if st.proto.Elem != "" && typeName(v) != st.proto.Elem {
+		// Un-consume: the handle was not advanced.
+		st.consumed.Store(false)
+		return Endpoint{}, fmt.Errorf("send %s where protocol carries %s: %w", typeName(v), st.proto.Elem, ErrType)
+	}
+	if st.ch.closed.Load() {
+		return Endpoint{}, fmt.Errorf("send: %w", ErrClosed)
+	}
+	st.sendQ <- message{payload: v}
+	return Endpoint{st: &epState{ch: st.ch, sendQ: st.sendQ, recvQ: st.recvQ, proto: st.proto.Next}}, nil
+}
+
+// Recv receives the next payload and returns it with the continuation.
+func (e Endpoint) Recv() (any, Endpoint, error) {
+	st, err := e.take(KindRecv)
+	if err != nil {
+		return nil, Endpoint{}, err
+	}
+	m, ok := <-st.recvQ
+	if !ok {
+		return nil, Endpoint{}, fmt.Errorf("recv: %w", ErrClosed)
+	}
+	if m.choice {
+		return nil, Endpoint{}, fmt.Errorf("recv got a choice message: %w", ErrProtocol)
+	}
+	return m.payload, Endpoint{st: &epState{ch: st.ch, sendQ: st.sendQ, recvQ: st.recvQ, proto: st.proto.Next}}, nil
+}
+
+// Choose selects a branch of an internal choice.
+func (e Endpoint) Choose(b Branch) (Endpoint, error) {
+	st, err := e.take(KindChoose)
+	if err != nil {
+		return Endpoint{}, err
+	}
+	if st.ch.closed.Load() {
+		return Endpoint{}, fmt.Errorf("choose: %w", ErrClosed)
+	}
+	st.sendQ <- message{branch: b, choice: true}
+	next := st.proto.Left
+	if b == Right {
+		next = st.proto.Right
+	}
+	return Endpoint{st: &epState{ch: st.ch, sendQ: st.sendQ, recvQ: st.recvQ, proto: next}}, nil
+}
+
+// Offer waits for the peer's choice and returns the selected branch with
+// the continuation.
+func (e Endpoint) Offer() (Branch, Endpoint, error) {
+	st, err := e.take(KindOffer)
+	if err != nil {
+		return Left, Endpoint{}, err
+	}
+	m, ok := <-st.recvQ
+	if !ok {
+		return Left, Endpoint{}, fmt.Errorf("offer: %w", ErrClosed)
+	}
+	if !m.choice {
+		return Left, Endpoint{}, fmt.Errorf("offer got a payload message: %w", ErrProtocol)
+	}
+	next := st.proto.Left
+	if m.branch == Right {
+		next = st.proto.Right
+	}
+	return m.branch, Endpoint{st: &epState{ch: st.ch, sendQ: st.sendQ, recvQ: st.recvQ, proto: next}}, nil
+}
+
+// Close terminates the session; the protocol must be at End.
+func (e Endpoint) Close() error {
+	st, err := e.take(KindEnd)
+	if err != nil {
+		return err
+	}
+	st.ch.mu.Lock()
+	defer st.ch.mu.Unlock()
+	if st.ch.closed.CompareAndSwap(false, true) {
+		close(st.ch.ab)
+		close(st.ch.ba)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// queryProto is a small request/response protocol:
+// client: !string . ?int . end
+func queryProto() *Protocol {
+	return Send("string", Recv("int", End))
+}
+
+func TestSimpleExchange(t *testing.T) {
+	client, server := New(queryProto(), 0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Server side: ?string . !int . end
+		req, s1, err := server.Recv()
+		if err != nil {
+			t.Errorf("server recv: %v", err)
+			return
+		}
+		if req.(string) != "len" {
+			t.Errorf("req = %v", req)
+		}
+		s2, err := s1.Send(3)
+		if err != nil {
+			t.Errorf("server send: %v", err)
+			return
+		}
+		if err := s2.Close(); err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("server close: %v", err)
+		}
+	}()
+
+	c1, err := client.Send("len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, c2, err := c1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(int) != 3 {
+		t.Fatalf("resp = %v", resp)
+	}
+	if err := c2.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestLinearityViolationCaught(t *testing.T) {
+	client, _ := New(queryProto(), 1)
+	c1, err := client.Send("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c1
+	// Reusing the consumed handle is the session-type violation the Rust
+	// encoding rejects at compile time.
+	if _, err := client.Send("again"); !errors.Is(err, ErrConsumed) {
+		t.Fatalf("err = %v, want ErrConsumed", err)
+	}
+}
+
+func TestProtocolViolationCaught(t *testing.T) {
+	client, _ := New(queryProto(), 1)
+	// Protocol says Send first; Recv is out of order.
+	if _, _, err := client.Recv(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestPayloadTypeChecked(t *testing.T) {
+	client, _ := New(queryProto(), 1)
+	if _, err := client.Send(42); !errors.Is(err, ErrType) {
+		t.Fatalf("err = %v, want ErrType", err)
+	}
+	// The failed send did not consume the step: the right payload works.
+	if _, err := client.Send("ok"); err != nil {
+		t.Fatalf("retry after type error: %v", err)
+	}
+}
+
+func TestChooseOffer(t *testing.T) {
+	// client: (+){ !int.end | !string.end }
+	proto := Choose(Send("int", End), Send("string", End))
+	client, server := New(proto, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		br, s1, err := server.Offer()
+		if err != nil {
+			t.Errorf("offer: %v", err)
+			return
+		}
+		if br != Right {
+			t.Errorf("branch = %v", br)
+			return
+		}
+		v, s2, err := s1.Recv()
+		if err != nil || v.(string) != "hi" {
+			t.Errorf("recv after offer: %v %v", v, err)
+			return
+		}
+		if err := s2.Close(); err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	c1, err := client.Choose(Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c1.Send("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestCloseBeforeEndRejected(t *testing.T) {
+	client, _ := New(queryProto(), 1)
+	if err := client.Close(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestUseAfterCloseRejected(t *testing.T) {
+	client, server := New(Send("int", End), 1)
+	c1, err := client.Send(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The server's receive still works (message was buffered).
+	v, s1, err := server.Recv()
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("recv = %v %v", v, err)
+	}
+	_ = s1
+	// But sending into the closed channel is refused.
+	c2, s2 := New(Send("int", End), 1)
+	_ = s2
+	cc, _ := c2.Send(5)
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroEndpoint(t *testing.T) {
+	var e Endpoint
+	if e.Protocol() != nil {
+		t.Fatal("zero endpoint has protocol")
+	}
+	if _, err := e.Send(1); !errors.Is(err, ErrConsumed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDualInvolution(t *testing.T) {
+	protos := []*Protocol{
+		End,
+		queryProto(),
+		Choose(Send("int", End), Recv("string", Send("bool", End))),
+		Offer(End, Recv("int", End)),
+	}
+	for _, p := range protos {
+		if !Dual(Dual(p)).Equal(p) {
+			t.Fatalf("dual not involutive for %s", p)
+		}
+	}
+	if Dual(nil) != nil {
+		t.Fatal("Dual(nil)")
+	}
+}
+
+func TestDualShape(t *testing.T) {
+	p := queryProto()
+	d := Dual(p)
+	want := Recv("string", Send("int", End))
+	if !d.Equal(want) {
+		t.Fatalf("dual = %s, want %s", d, want)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	p := Choose(Send("int", End), Offer(End, Recv("string", End)))
+	got := p.String()
+	if got != "(+){!int.end | (&){end | ?string.end}}" {
+		t.Fatalf("String = %q", got)
+	}
+	if KindSend.String() != "Send" || Kind(99).String() == "" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestProtocolAfterEachStep(t *testing.T) {
+	client, server := New(queryProto(), 1)
+	if client.Protocol().Kind != KindSend {
+		t.Fatal("initial protocol")
+	}
+	c1, err := client.Send("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Protocol() != nil {
+		t.Fatal("consumed endpoint still reports protocol")
+	}
+	if c1.Protocol().Kind != KindRecv {
+		t.Fatalf("continuation protocol = %s", c1.Protocol())
+	}
+	_, s1, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Protocol().Kind != KindSend {
+		t.Fatalf("server continuation = %s", s1.Protocol())
+	}
+}
+
+// Property: a randomly generated linear protocol, executed faithfully by
+// both sides, always runs to completion with no protocol errors; dual
+// derivation keeps the two sides compatible.
+func TestQuickRandomProtocolRuns(t *testing.T) {
+	type step uint8 // 0=send int, 1=recv int
+	f := func(steps []uint8) bool {
+		if len(steps) > 12 {
+			steps = steps[:12]
+		}
+		// Build the client protocol.
+		proto := End
+		for i := len(steps) - 1; i >= 0; i-- {
+			if steps[i]%2 == 0 {
+				proto = Send("int", proto)
+			} else {
+				proto = Recv("int", proto)
+			}
+		}
+		client, server := New(proto, len(steps)+1)
+		errc := make(chan error, 2)
+		run := func(e Endpoint) {
+			for {
+				p := e.Protocol()
+				if p == nil {
+					errc <- errors.New("consumed endpoint in driver")
+					return
+				}
+				switch p.Kind {
+				case KindSend:
+					next, err := e.Send(7)
+					if err != nil {
+						errc <- err
+						return
+					}
+					e = next
+				case KindRecv:
+					_, next, err := e.Recv()
+					if err != nil {
+						errc <- err
+						return
+					}
+					e = next
+				case KindEnd:
+					errc <- nil
+					return
+				}
+			}
+		}
+		go run(client)
+		go run(server)
+		for i := 0; i < 2; i++ {
+			if err := <-errc; err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package sfi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCopyBoundaryIsolatesByCopying(t *testing.T) {
+	copies := 0
+	b := CopyBoundary[[]int]{Copy: func(v []int) []int {
+		copies++
+		return append([]int(nil), v...)
+	}}
+	orig := []int{1, 2, 3}
+	out, err := b.Cross(orig, func(in []int) ([]int, error) {
+		if &in[0] == &orig[0] {
+			t.Error("callee shares memory with caller")
+		}
+		in[0] = 99
+		return in, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies != 2 {
+		t.Fatalf("copies = %d, want 2 (in and out)", copies)
+	}
+	if orig[0] != 1 {
+		t.Fatal("caller's data mutated through the boundary")
+	}
+	if out[0] != 99 {
+		t.Fatal("result not propagated")
+	}
+}
+
+func TestCopyBoundaryErrorShortCircuits(t *testing.T) {
+	copies := 0
+	b := CopyBoundary[int]{Copy: func(v int) int { copies++; return v }}
+	_, err := b.Cross(1, func(int) (int, error) { return 0, errors.New("fail") })
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if copies != 1 {
+		t.Fatalf("copies = %d, want 1 (no result copy on error)", copies)
+	}
+}
+
+func TestTaggedHeapOwnershipEnforced(t *testing.T) {
+	h := NewTaggedHeap[int]()
+	const a, b DomainID = 1, 2
+	hd := h.Alloc(a, 42)
+
+	// Owner access works.
+	var got int
+	if err := h.Access(a, hd, func(v *int) { got = *v }); err != nil || got != 42 {
+		t.Fatalf("owner access: %v (got %d)", err, got)
+	}
+	// Non-owner access is a tag violation.
+	if err := h.Access(b, hd, func(*int) {}); !errors.Is(err, ErrTagViolation) {
+		t.Fatalf("non-owner access: %v", err)
+	}
+	// Transfer re-tags without copying.
+	if err := h.Transfer(a, hd, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Access(a, hd, func(*int) {}); !errors.Is(err, ErrTagViolation) {
+		t.Fatal("previous owner retained access after transfer")
+	}
+	if err := h.Access(b, hd, func(v *int) { *v = 7 }); err != nil {
+		t.Fatalf("new owner access: %v", err)
+	}
+}
+
+func TestTaggedHeapTransferByNonOwnerRejected(t *testing.T) {
+	h := NewTaggedHeap[int]()
+	hd := h.Alloc(1, 5)
+	if err := h.Transfer(2, hd, 2); !errors.Is(err, ErrTagViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTaggedHeapFreeAndReuse(t *testing.T) {
+	h := NewTaggedHeap[int]()
+	hd := h.Alloc(1, 5)
+	if err := h.Free(2, hd); !errors.Is(err, ErrTagViolation) {
+		t.Fatal("non-owner free allowed")
+	}
+	if err := h.Free(1, hd); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Access(1, hd, func(*int) {}); !errors.Is(err, ErrTagViolation) {
+		t.Fatal("use after free allowed")
+	}
+	if h.Live() != 0 {
+		t.Fatalf("Live = %d", h.Live())
+	}
+	// The slot is recycled.
+	hd2 := h.Alloc(3, 9)
+	if hd2 != hd {
+		t.Fatalf("slot not reused: %d vs %d", hd2, hd)
+	}
+	if h.Live() != 1 {
+		t.Fatalf("Live = %d", h.Live())
+	}
+}
+
+func TestTaggedHeapCountsChecks(t *testing.T) {
+	h := NewTaggedHeap[int]()
+	hd := h.Alloc(1, 0)
+	for i := 0; i < 10; i++ {
+		_ = h.Access(1, hd, func(*int) {})
+	}
+	_ = h.Transfer(1, hd, 2)
+	if got := h.TagChecks(); got != 11 {
+		t.Fatalf("TagChecks = %d, want 11", got)
+	}
+}
+
+func TestTaggedHeapBadHandle(t *testing.T) {
+	h := NewTaggedHeap[int]()
+	if err := h.Access(1, Handle(99), func(*int) {}); !errors.Is(err, ErrTagViolation) {
+		t.Fatal("out-of-range handle allowed")
+	}
+	if err := h.Free(1, Handle(99)); !errors.Is(err, ErrTagViolation) {
+		t.Fatal("free of bad handle allowed")
+	}
+	if err := h.Transfer(1, Handle(99), 2); !errors.Is(err, ErrTagViolation) {
+		t.Fatal("transfer of bad handle allowed")
+	}
+}

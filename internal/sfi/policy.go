@@ -1,0 +1,83 @@
+package sfi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Policy is the domain-level access-control hook consulted on every
+// inbound remote invocation, the enforcement point the paper's management
+// plane provides ("enforcing access control policies on cross-domain
+// calls").
+type Policy interface {
+	// Allow returns nil to admit the call, or an error (conventionally
+	// wrapping ErrAccessDenied) to reject it.
+	Allow(caller, callee DomainID, method string) error
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(caller, callee DomainID, method string) error
+
+// Allow implements Policy.
+func (f PolicyFunc) Allow(caller, callee DomainID, method string) error {
+	return f(caller, callee, method)
+}
+
+// AllowAll admits every call. It is the default behaviour when a domain
+// has no policy installed; exposed for explicitness in configuration.
+var AllowAll Policy = PolicyFunc(func(DomainID, DomainID, string) error { return nil })
+
+// DenyAll rejects every call.
+var DenyAll Policy = PolicyFunc(func(caller, callee DomainID, method string) error {
+	return fmt.Errorf("deny-all policy: %w", ErrAccessDenied)
+})
+
+// ACL is a mutable allow-list policy keyed by caller domain and method.
+// The zero value denies everything; add rules with Allow*.
+type ACL struct {
+	mu      sync.RWMutex
+	callers map[DomainID]map[string]bool // method set; "" means all methods
+}
+
+// NewACL returns an empty (deny-everything) ACL.
+func NewACL() *ACL {
+	return &ACL{callers: make(map[DomainID]map[string]bool)}
+}
+
+// AllowCaller admits every method for the given caller.
+func (a *ACL) AllowCaller(caller DomainID) *ACL {
+	return a.AllowMethod(caller, "")
+}
+
+// AllowMethod admits one method for the given caller. An empty method
+// string is a wildcard.
+func (a *ACL) AllowMethod(caller DomainID, method string) *ACL {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := a.callers[caller]
+	if set == nil {
+		set = make(map[string]bool)
+		a.callers[caller] = set
+	}
+	set[method] = true
+	return a
+}
+
+// RevokeCaller removes all grants for a caller.
+func (a *ACL) RevokeCaller(caller DomainID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.callers, caller)
+}
+
+// Allow implements Policy.
+func (a *ACL) Allow(caller, callee DomainID, method string) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if set, ok := a.callers[caller]; ok {
+		if set[""] || set[method] {
+			return nil
+		}
+	}
+	return fmt.Errorf("acl: caller %d may not call %q on %d: %w", caller, method, callee, ErrAccessDenied)
+}

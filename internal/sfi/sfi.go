@@ -1,0 +1,319 @@
+// Package sfi implements the paper's §3 contribution: zero-copy software
+// fault isolation built on linear ownership.
+//
+// The library exports the paper's two data types:
+//
+//   - protection domains (Domain) — all domains allocate from the common
+//     Go heap but share no data; and
+//   - remote references (RRef) — the only channel through which domains
+//     interact.
+//
+// An exported object stays in its owner domain's reference table, wrapped
+// in a strong Rc that acts as the proxy for remote invocations. The RRef
+// handed to clients holds only a weak pointer to that proxy: revoking the
+// entry (or tearing the domain down for recovery) makes every outstanding
+// RRef fail closed at its next upgrade, exactly as in Figure 1.
+//
+// Arguments of remote invocations follow move semantics: CallMove
+// transfers a linear.Owned argument into the callee, invalidating the
+// caller's handle, so data crosses the boundary by reference with no copy
+// and no residual access — the zero-copy SFI property the paper
+// demonstrates on NetBricks.
+//
+// Fault recovery follows §3: a panic inside a domain is caught at the
+// domain entry point (the remote-invocation boundary), an error is
+// returned to the caller, the domain's reference table is cleared, and the
+// user-provided recovery function reinitializes the domain from clean
+// state. Because recovery re-populates the same table slots, RRef
+// transparently re-binds on its next call.
+package sfi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by domain and remote-reference operations.
+var (
+	// ErrRevoked reports an invocation through an RRef whose table entry
+	// was removed (weak upgrade failed and the slot is empty).
+	ErrRevoked = errors.New("sfi: remote reference revoked")
+	// ErrDomainDead reports an operation on a destroyed domain.
+	ErrDomainDead = errors.New("sfi: domain destroyed")
+	// ErrDomainFailed reports that the callee domain panicked during the
+	// invocation; the domain has been torn down and is awaiting recovery.
+	ErrDomainFailed = errors.New("sfi: domain failed during invocation")
+	// ErrAccessDenied reports that the access-control policy rejected a
+	// cross-domain call.
+	ErrAccessDenied = errors.New("sfi: access denied by policy")
+	// ErrWrongType reports a type mismatch while re-binding an RRef to a
+	// re-populated table slot.
+	ErrWrongType = errors.New("sfi: table entry has wrong type")
+)
+
+// DomainID identifies a protection domain. ID 0 is the root (manager)
+// domain that exists outside any Domain object.
+type DomainID uint32
+
+// RootDomain is the implicit domain of code not executing inside any PD.
+const RootDomain DomainID = 0
+
+// domainState tracks the lifecycle of a protection domain.
+type domainState int32
+
+const (
+	stateLive domainState = iota
+	stateFailed
+	stateDead
+)
+
+// Stats holds per-domain counters, updated atomically.
+type Stats struct {
+	Calls       atomic.Uint64 // remote invocations entered
+	Faults      atomic.Uint64 // panics caught at the boundary
+	Recoveries  atomic.Uint64 // successful recovery runs
+	Revocations atomic.Uint64 // entries revoked (individually or by teardown)
+	Exports     atomic.Uint64 // objects exported into the table
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() (calls, faults, recoveries, revocations, exports uint64) {
+	return s.Calls.Load(), s.Faults.Load(), s.Recoveries.Load(), s.Revocations.Load(), s.Exports.Load()
+}
+
+// tableEntry is one slot of a domain's reference table. handle holds the
+// strong linear.Rc[T] (type-erased); revoke drops it; interceptor, when
+// non-nil, screens each invocation through this slot.
+type tableEntry struct {
+	handle      any
+	revoke      func()
+	interceptor Interceptor
+	typeName    string
+}
+
+// Interceptor screens a single invocation through a table entry. It runs
+// after the domain-level policy and may reject the call; this is the
+// paper's "intercept remote invocations for fine-grained access control".
+type Interceptor func(caller DomainID, method string) error
+
+// Domain is a protection domain. Create domains through a Manager so that
+// recovery can be orchestrated; the zero Domain is invalid.
+type Domain struct {
+	id   DomainID
+	name string
+	mgr  *Manager
+
+	state atomic.Int32
+
+	mu       sync.RWMutex
+	table    map[uint64]*tableEntry
+	nextSlot uint64
+
+	recovery func(*Domain) error
+	// policy is read on every remote invocation; it is stored atomically
+	// so the hot path never takes the table lock.
+	policy atomic.Pointer[Policy]
+
+	// Stats is exported for benchmarks and the management plane.
+	Stats Stats
+}
+
+// ID returns the domain's identifier.
+func (d *Domain) ID() DomainID { return d.id }
+
+// Name returns the human-readable name given at creation.
+func (d *Domain) Name() string { return d.name }
+
+// Live reports whether the domain currently accepts invocations.
+func (d *Domain) Live() bool { return domainState(d.state.Load()) == stateLive }
+
+// Failed reports whether the domain is torn down and awaiting recovery.
+func (d *Domain) Failed() bool { return domainState(d.state.Load()) == stateFailed }
+
+// SetRecovery installs the user-provided recovery function, run by the
+// manager after a fault to reinitialize the domain from clean state. The
+// function typically re-creates the domain's objects and re-exports them
+// into the (cleared) reference table via ExportAt, making the failure
+// transparent to clients holding RRefs.
+func (d *Domain) SetRecovery(fn func(*Domain) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.recovery = fn
+}
+
+// SetPolicy installs the domain-level access-control policy consulted on
+// every inbound invocation. A nil policy admits all callers.
+func (d *Domain) SetPolicy(p Policy) {
+	if p == nil {
+		d.policy.Store(nil)
+		return
+	}
+	d.policy.Store(&p)
+}
+
+// Execute runs fn in the context of this domain: the current-domain ID
+// visible through ctx is d's for the duration. This mirrors the paper's
+// Domain::execute(&d, || ...), used to create objects "inside" a PD.
+func (d *Domain) Execute(ctx *Context, fn func() error) error {
+	if !d.Live() {
+		return fmt.Errorf("Execute on domain %d (%s): %w", d.id, d.name, stateErr(domainState(d.state.Load())))
+	}
+	ctx.push(d.id)
+	defer ctx.pop()
+	return fn()
+}
+
+func stateErr(s domainState) error {
+	switch s {
+	case stateFailed:
+		return ErrDomainFailed
+	case stateDead:
+		return ErrDomainDead
+	default:
+		return nil
+	}
+}
+
+// lookup returns the entry at slot, or nil.
+func (d *Domain) lookup(slot uint64) *tableEntry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.table[slot]
+}
+
+// Revoke removes a single reference-table entry, immediately invalidating
+// every RRef minted for it. Revoking an empty slot is a no-op.
+func (d *Domain) Revoke(slot uint64) {
+	d.mu.Lock()
+	e := d.table[slot]
+	delete(d.table, slot)
+	d.mu.Unlock()
+	if e != nil {
+		e.revoke()
+		d.Stats.Revocations.Add(1)
+	}
+}
+
+// TableSize reports the number of live entries in the reference table.
+func (d *Domain) TableSize() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.table)
+}
+
+// clearTable revokes every entry; used by teardown and recovery. "By
+// clearing the reference table one can automatically deallocate all memory
+// and resources owned by the domain" (§3): dropping the strong Rcs severs
+// the only rooted references, so the Go GC reclaims the objects and all
+// outstanding weak handles fail to upgrade.
+func (d *Domain) clearTable() {
+	d.mu.Lock()
+	entries := d.table
+	d.table = make(map[uint64]*tableEntry)
+	d.mu.Unlock()
+	for range entries {
+		d.Stats.Revocations.Add(1)
+	}
+	for _, e := range entries {
+		e.revoke()
+	}
+}
+
+// fail tears the domain down after a caught panic: mark failed, then clear
+// the reference table so clients fail closed until recovery.
+func (d *Domain) fail() {
+	if d.state.CompareAndSwap(int32(stateLive), int32(stateFailed)) {
+		d.Stats.Faults.Add(1)
+		d.clearTable()
+	}
+}
+
+// Destroy permanently tears the domain down.
+func (d *Domain) Destroy() {
+	d.state.Store(int32(stateDead))
+	d.clearTable()
+	if d.mgr != nil {
+		d.mgr.forget(d.id)
+	}
+}
+
+// Manager is the management plane controlling domain lifecycle: creation,
+// lookup, and fault recovery.
+type Manager struct {
+	mu      sync.RWMutex
+	domains map[DomainID]*Domain
+	nextID  uint32
+}
+
+// NewManager creates an empty management plane.
+func NewManager() *Manager {
+	return &Manager{domains: make(map[DomainID]*Domain)}
+}
+
+// NewDomain creates a live protection domain.
+func (m *Manager) NewDomain(name string) *Domain {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	d := &Domain{
+		id:    DomainID(m.nextID),
+		name:  name,
+		mgr:   m,
+		table: make(map[uint64]*tableEntry),
+	}
+	d.state.Store(int32(stateLive))
+	m.domains[d.id] = d
+	return d
+}
+
+// Domain returns the domain with the given ID, if it exists.
+func (m *Manager) Domain(id DomainID) (*Domain, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.domains[id]
+	return d, ok
+}
+
+// Domains returns a snapshot of all registered domains.
+func (m *Manager) Domains() []*Domain {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Domain, 0, len(m.domains))
+	for _, d := range m.domains {
+		out = append(out, d)
+	}
+	return out
+}
+
+func (m *Manager) forget(id DomainID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.domains, id)
+}
+
+// Recover runs the §3 recovery protocol on a failed domain: the reference
+// table has already been cleared at fault time; Recover re-initializes the
+// domain from clean state by running the user recovery function, then
+// marks it live. RRefs held by clients re-bind to the re-populated slots
+// on their next invocation.
+func (m *Manager) Recover(d *Domain) error {
+	if domainState(d.state.Load()) == stateDead {
+		return fmt.Errorf("recover domain %d: %w", d.id, ErrDomainDead)
+	}
+	if !d.state.CompareAndSwap(int32(stateFailed), int32(stateLive)) {
+		return fmt.Errorf("recover domain %d: domain is not in failed state", d.id)
+	}
+	d.mu.RLock()
+	rec := d.recovery
+	d.mu.RUnlock()
+	if rec != nil {
+		if err := rec(d); err != nil {
+			d.state.Store(int32(stateFailed))
+			return fmt.Errorf("recover domain %d: recovery function: %w", d.id, err)
+		}
+	}
+	d.Stats.Recoveries.Add(1)
+	return nil
+}

@@ -1,0 +1,549 @@
+package sfi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/linear"
+)
+
+// counter is a simple stateful object to export into domains.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) incr() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func newWorld(t *testing.T) (*Manager, *Context) {
+	t.Helper()
+	return NewManager(), NewContext()
+}
+
+func TestExportAndCall(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("svc")
+	rref, err := Export(d, &counter{})
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	got, err := CallResult(ctx, rref, "incr", func(c *counter) (int, error) {
+		return c.incr(), nil
+	})
+	if err != nil || got != 1 {
+		t.Fatalf("CallResult = (%d, %v), want (1, nil)", got, err)
+	}
+	if calls, _, _, _, exports := d.Stats.Snapshot(); calls != 1 || exports != 1 {
+		t.Fatalf("stats calls=%d exports=%d", calls, exports)
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	// Figure 1: the object lives in the owner's reference table (strong
+	// proxy); the client-side rref holds only a weak pointer.
+	m, _ := newWorld(t)
+	d := m.NewDomain("owner")
+	rref, err := Export(d, &counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TableSize() != 1 {
+		t.Fatalf("table size = %d, want 1", d.TableSize())
+	}
+	e := d.lookup(rref.Slot())
+	if e == nil {
+		t.Fatal("no table entry for exported object")
+	}
+	rc, ok := e.handle.(linear.Rc[*counter])
+	if !ok {
+		t.Fatalf("table holds %T", e.handle)
+	}
+	// Exactly one strong handle: the table's proxy. The rref is weak.
+	if n := rc.StrongCount(); n != 1 {
+		t.Fatalf("strong count = %d, want 1 (table only)", n)
+	}
+	if n := rc.WeakCount(); n != 1 {
+		t.Fatalf("weak count = %d, want 1 (the rref)", n)
+	}
+}
+
+func TestRevokeFailsClosed(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("svc")
+	rref, _ := Export(d, &counter{})
+	d.Revoke(rref.Slot())
+	if rref.Alive() {
+		t.Fatal("rref alive after revoke")
+	}
+	err := rref.Call(ctx, "incr", func(c *counter) error { return nil })
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("Call after revoke: err = %v, want ErrRevoked", err)
+	}
+	if _, _, _, revs, _ := d.Stats.Snapshot(); revs != 1 {
+		t.Fatalf("revocations = %d, want 1", revs)
+	}
+}
+
+func TestRevokeUnknownSlotIsNoop(t *testing.T) {
+	m, _ := newWorld(t)
+	d := m.NewDomain("svc")
+	d.Revoke(12345)
+	if _, _, _, revs, _ := d.Stats.Snapshot(); revs != 0 {
+		t.Fatalf("revocations = %d, want 0", revs)
+	}
+}
+
+func TestPanicIsolatesAndFailsDomain(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("flaky")
+	rref, _ := Export(d, &counter{})
+	other, _ := Export(d, &counter{})
+
+	err := rref.Call(ctx, "boom", func(c *counter) error {
+		panic("bounds check violation")
+	})
+	if !errors.Is(err, ErrDomainFailed) {
+		t.Fatalf("err = %v, want ErrDomainFailed", err)
+	}
+	// The caller survived (we're still running) and the callee domain is
+	// failed with a cleared reference table.
+	if !d.Failed() {
+		t.Fatal("domain not failed after panic")
+	}
+	if d.TableSize() != 0 {
+		t.Fatalf("table size = %d after fault, want 0", d.TableSize())
+	}
+	// All other rrefs into the domain fail closed too.
+	if err := other.Call(ctx, "incr", func(c *counter) error { return nil }); !errors.Is(err, ErrDomainFailed) {
+		t.Fatalf("sibling rref err = %v, want ErrDomainFailed", err)
+	}
+	if _, faults, _, _, _ := d.Stats.Snapshot(); faults != 1 {
+		t.Fatalf("faults = %d, want 1", faults)
+	}
+	// Context unwound back to root despite the panic.
+	if got := ctx.Current(); got != RootDomain {
+		t.Fatalf("current domain = %d after fault, want root", got)
+	}
+}
+
+func TestRecoveryTransparentToClients(t *testing.T) {
+	// §3: "The recovery process can re-populate the reference table, thus
+	// making the failure transparent to clients of the domain."
+	m, ctx := newWorld(t)
+	d := m.NewDomain("svc")
+	rref, _ := Export(d, &counter{n: 100})
+	slot := rref.Slot()
+	d.SetRecovery(func(d *Domain) error {
+		return ExportAt(d, slot, &counter{n: 0}) // clean state
+	})
+
+	// Fault the domain.
+	_ = rref.Call(ctx, "boom", func(c *counter) error { panic("injected") })
+	if !d.Failed() {
+		t.Fatal("domain not failed")
+	}
+	if err := m.Recover(d); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !d.Live() {
+		t.Fatal("domain not live after recovery")
+	}
+	// The *same* rref works again, now reaching the fresh object.
+	got, err := CallResult(ctx, rref, "incr", func(c *counter) (int, error) { return c.incr(), nil })
+	if err != nil {
+		t.Fatalf("Call after recovery: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("recovered counter = %d, want 1 (clean state)", got)
+	}
+	if _, _, recs, _, _ := d.Stats.Snapshot(); recs != 1 {
+		t.Fatalf("recoveries = %d, want 1", recs)
+	}
+}
+
+func TestRecoverRequiresFailedState(t *testing.T) {
+	m, _ := newWorld(t)
+	d := m.NewDomain("svc")
+	if err := m.Recover(d); err == nil {
+		t.Fatal("Recover on live domain succeeded")
+	}
+	d.Destroy()
+	if err := m.Recover(d); !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("Recover on dead domain: %v, want ErrDomainDead", err)
+	}
+}
+
+func TestRecoveryFunctionFailureKeepsDomainFailed(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("svc")
+	rref, _ := Export(d, &counter{})
+	d.SetRecovery(func(*Domain) error { return errors.New("init failed") })
+	_ = rref.Call(ctx, "boom", func(*counter) error { panic("x") })
+	if err := m.Recover(d); err == nil {
+		t.Fatal("Recover succeeded despite failing recovery fn")
+	}
+	if !d.Failed() {
+		t.Fatal("domain should remain failed")
+	}
+}
+
+func TestRebindWrongTypeRejected(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("svc")
+	rref, _ := Export(d, &counter{})
+	slot := rref.Slot()
+	d.SetRecovery(func(d *Domain) error {
+		return ExportAt(d, slot, "not a counter") // wrong type on purpose
+	})
+	_ = rref.Call(ctx, "boom", func(*counter) error { panic("x") })
+	if err := m.Recover(d); err != nil {
+		t.Fatal(err)
+	}
+	err := rref.Call(ctx, "incr", func(*counter) error { return nil })
+	if !errors.Is(err, ErrWrongType) {
+		t.Fatalf("err = %v, want ErrWrongType", err)
+	}
+}
+
+func TestCallMoveTransfersOwnership(t *testing.T) {
+	// The zero-copy property: after sending a batch by move, the sender's
+	// handle is dead; the callee (and then the caller, on return) holds a
+	// live handle to the same underlying data — no copies.
+	m, ctx := newWorld(t)
+	d := m.NewDomain("stage")
+	rref, _ := Export(d, &counter{})
+
+	payload := []int{1, 2, 3}
+	arg := linear.New(payload)
+	stale := arg // a copy of the handle the sender might squirrel away
+
+	out, err := CallMove(ctx, rref, "process", arg,
+		func(c *counter, batch linear.Owned[[]int]) (linear.Owned[[]int], error) {
+			c.incr()
+			var first int
+			if err := batch.With(func(s []int) { first = s[0] }); err != nil {
+				return batch, err
+			}
+			if first != 1 {
+				return batch, fmt.Errorf("bad payload")
+			}
+			return batch, nil
+		})
+	if err != nil {
+		t.Fatalf("CallMove: %v", err)
+	}
+	// Sender's pre-move handle is dead: no residual access.
+	if _, err := stale.Borrow(); !errors.Is(err, linear.ErrMoved) {
+		t.Fatalf("stale handle borrow: err = %v, want ErrMoved", err)
+	}
+	// Caller received ownership back and the data was never copied.
+	err = out.With(func(s []int) {
+		if &s[0] != &payload[0] {
+			t.Error("payload was copied across the boundary")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallMoveWithMovedArgFails(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("stage")
+	rref, _ := Export(d, &counter{})
+	arg := linear.New(1)
+	_ = arg.MustMove() // consume it first
+	_, err := CallMove(ctx, rref, "p", arg, func(c *counter, a linear.Owned[int]) (linear.Owned[int], error) {
+		return a, nil
+	})
+	if !errors.Is(err, linear.ErrMoved) {
+		t.Fatalf("err = %v, want ErrMoved", err)
+	}
+}
+
+func TestCallMovePanicFailsDomainAndDropsNothingOnCaller(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("stage")
+	rref, _ := Export(d, &counter{})
+	arg := linear.New(42)
+	_, err := CallMove(ctx, rref, "p", arg, func(c *counter, a linear.Owned[int]) (linear.Owned[int], error) {
+		panic("stage crashed holding the batch")
+	})
+	if !errors.Is(err, ErrDomainFailed) {
+		t.Fatalf("err = %v, want ErrDomainFailed", err)
+	}
+	// The batch went down with the domain: the caller cannot use it.
+	if arg.Valid() {
+		t.Fatal("caller still holds the batch after moving it into a crashed domain")
+	}
+}
+
+func TestDomainPolicyEnforced(t *testing.T) {
+	m := NewManager()
+	d := m.NewDomain("guarded")
+	client := m.NewDomain("client")
+	rref, _ := Export(d, &counter{})
+
+	acl := NewACL().AllowMethod(client.ID(), "incr")
+	d.SetPolicy(acl)
+
+	ctx := NewContext()
+	// Call from root: denied (no grant).
+	err := rref.Call(ctx, "incr", func(*counter) error { return nil })
+	if !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("root call: err = %v, want ErrAccessDenied", err)
+	}
+	// Call from client domain on allowed method: admitted.
+	err = client.Execute(ctx, func() error {
+		return rref.Call(ctx, "incr", func(c *counter) error { c.incr(); return nil })
+	})
+	if err != nil {
+		t.Fatalf("client call: %v", err)
+	}
+	// Call from client on another method: denied.
+	err = client.Execute(ctx, func() error {
+		return rref.Call(ctx, "reset", func(*counter) error { return nil })
+	})
+	if !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("client reset: err = %v, want ErrAccessDenied", err)
+	}
+	// Revoke the caller: denied again.
+	acl.RevokeCaller(client.ID())
+	err = client.Execute(ctx, func() error {
+		return rref.Call(ctx, "incr", func(*counter) error { return nil })
+	})
+	if !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("after revoke: err = %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestPerEntryInterceptor(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("svc")
+	rref, _ := ExportIntercepted(d, &counter{}, func(caller DomainID, method string) error {
+		if method == "secret" {
+			return fmt.Errorf("method sealed: %w", ErrAccessDenied)
+		}
+		return nil
+	})
+	if err := rref.Call(ctx, "public", func(*counter) error { return nil }); err != nil {
+		t.Fatalf("public: %v", err)
+	}
+	if err := rref.Call(ctx, "secret", func(*counter) error { return nil }); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("secret: err = %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestBuiltinPolicies(t *testing.T) {
+	if err := AllowAll.Allow(1, 2, "m"); err != nil {
+		t.Fatalf("AllowAll: %v", err)
+	}
+	if err := DenyAll.Allow(1, 2, "m"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("DenyAll: %v", err)
+	}
+	acl := NewACL().AllowCaller(7)
+	if err := acl.Allow(7, 2, "anything"); err != nil {
+		t.Fatalf("wildcard caller: %v", err)
+	}
+	if err := acl.Allow(8, 2, "anything"); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("unknown caller admitted")
+	}
+}
+
+func TestContextNesting(t *testing.T) {
+	m := NewManager()
+	a := m.NewDomain("a")
+	b := m.NewDomain("b")
+	ctx := NewContext()
+	ra, _ := Export(a, &counter{})
+	rb, _ := Export(b, &counter{})
+
+	if ctx.Current() != RootDomain || ctx.Depth() != 0 {
+		t.Fatal("fresh context not at root")
+	}
+	err := ra.Call(ctx, "outer", func(*counter) error {
+		if ctx.Current() != a.ID() {
+			t.Errorf("inside a: current = %d", ctx.Current())
+		}
+		return rb.Call(ctx, "inner", func(*counter) error {
+			if ctx.Current() != b.ID() {
+				t.Errorf("inside b: current = %d", ctx.Current())
+			}
+			if ctx.Depth() != 2 {
+				t.Errorf("depth = %d, want 2", ctx.Depth())
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Current() != RootDomain {
+		t.Fatalf("after calls: current = %d", ctx.Current())
+	}
+}
+
+func TestDestroyedDomainRejectsEverything(t *testing.T) {
+	m, ctx := newWorld(t)
+	d := m.NewDomain("gone")
+	rref, _ := Export(d, &counter{})
+	d.Destroy()
+	if err := rref.Call(ctx, "incr", func(*counter) error { return nil }); !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("call: %v, want ErrDomainDead", err)
+	}
+	if _, err := Export(d, &counter{}); !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("export: %v, want ErrDomainDead", err)
+	}
+	if err := d.Execute(ctx, func() error { return nil }); !errors.Is(err, ErrDomainDead) {
+		t.Fatalf("execute: %v, want ErrDomainDead", err)
+	}
+	if _, ok := m.Domain(d.ID()); ok {
+		t.Fatal("destroyed domain still registered")
+	}
+}
+
+func TestManagerRegistry(t *testing.T) {
+	m := NewManager()
+	a := m.NewDomain("a")
+	b := m.NewDomain("b")
+	if a.ID() == b.ID() {
+		t.Fatal("duplicate domain IDs")
+	}
+	if got, ok := m.Domain(a.ID()); !ok || got != a {
+		t.Fatal("lookup failed")
+	}
+	if len(m.Domains()) != 2 {
+		t.Fatalf("Domains() = %d entries", len(m.Domains()))
+	}
+}
+
+func TestConcurrentCallsOneDomain(t *testing.T) {
+	m := NewManager()
+	d := m.NewDomain("svc")
+	rref, _ := Export(d, &counter{})
+	var wg sync.WaitGroup
+	const workers = 16
+	const perWorker = 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := NewContext()
+			for i := 0; i < perWorker; i++ {
+				if err := rref.Call(ctx, "incr", func(c *counter) error { c.incr(); return nil }); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := CallResult(NewContext(), rref, "read", func(c *counter) (int, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n, nil
+	})
+	if err != nil || got != workers*perWorker {
+		t.Fatalf("count = %d (%v), want %d", got, err, workers*perWorker)
+	}
+}
+
+func TestConcurrentRebindAfterRecovery(t *testing.T) {
+	// Many workers race the slow-path re-bind on one shared rref right
+	// after a fault+recovery. Every call must succeed and the rref must
+	// end with a consistent binding (regression test for the
+	// atomically-published rrefBinding).
+	for trial := 0; trial < 20; trial++ {
+		m := NewManager()
+		d := m.NewDomain("svc")
+		rref, err := Export(d, &counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slot := rref.Slot()
+		d.SetRecovery(func(d *Domain) error { return ExportAt(d, slot, &counter{}) })
+		_ = rref.Call(NewContext(), "boom", func(*counter) error { panic("x") })
+		if err := m.Recover(d); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 16; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx := NewContext()
+				for i := 0; i < 20; i++ {
+					if err := rref.Call(ctx, "incr", func(c *counter) error { c.incr(); return nil }); err != nil {
+						t.Errorf("call: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		got, err := CallResult(NewContext(), rref, "read", func(c *counter) (int, error) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.n, nil
+		})
+		if err != nil || got != 16*20 {
+			t.Fatalf("trial %d: count = %d (%v)", trial, got, err)
+		}
+	}
+}
+
+func TestConcurrentFaultAndCalls(t *testing.T) {
+	// One goroutine repeatedly faults and recovers the domain while others
+	// call through it; every call must either succeed or fail with a
+	// domain-lifecycle error — never corrupt state or deadlock.
+	m := NewManager()
+	d := m.NewDomain("flaky")
+	rref, _ := Export(d, &counter{})
+	slot := rref.Slot()
+	d.SetRecovery(func(d *Domain) error { return ExportAt(d, slot, &counter{}) })
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := NewContext()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := rref.Call(ctx, "incr", func(c *counter) error { c.incr(); return nil })
+				if err != nil && !errors.Is(err, ErrDomainFailed) && !errors.Is(err, ErrRevoked) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	ctx := NewContext()
+	for i := 0; i < 50; i++ {
+		_ = rref.Call(ctx, "boom", func(*counter) error { panic("chaos") })
+		_ = m.Recover(d)
+	}
+	close(stop)
+	wg.Wait()
+	// Ensure the domain ends usable.
+	if d.Failed() {
+		if err := m.Recover(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rref.Call(ctx, "incr", func(c *counter) error { return nil }); err != nil {
+		t.Fatalf("final call: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package txn_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/txn"
+)
+
+type ledger struct {
+	Entries []int
+	Sum     int
+}
+
+// Example shows all-or-nothing updates over the checkpoint engine: a
+// failing transaction leaves no trace, even though it mutated freely
+// before aborting.
+func Example() {
+	store, _ := txn.NewStore(&ledger{}, 4)
+
+	_ = store.Update(func(l **ledger) error {
+		(*l).Entries = append((*l).Entries, 10)
+		(*l).Sum += 10
+		return nil
+	})
+
+	err := store.Update(func(l **ledger) error {
+		(*l).Entries = append((*l).Entries, -999)
+		(*l).Sum -= 999
+		return errors.New("validation failed")
+	})
+	fmt.Println("aborted:", errors.Is(err, txn.ErrAborted))
+
+	store.View(func(l *ledger) {
+		fmt.Println("entries:", l.Entries, "sum:", l.Sum)
+	})
+
+	// Multiversion read of the initial state.
+	var v0 *ledger
+	_ = store.ReadVersion(0, &v0)
+	fmt.Println("version 0 entries:", len(v0.Entries))
+	// Output:
+	// aborted: true
+	// entries: [10] sum: 10
+	// version 0 entries: 0
+}

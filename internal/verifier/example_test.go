@@ -1,0 +1,68 @@
+package verifier_test
+
+import (
+	"fmt"
+
+	"repro/internal/verifier"
+)
+
+// Example verifies a leaking program: the flow from the secret source to
+// the public terminal is found statically, with the taint site reported.
+func Example() {
+	rep := verifier.Verify(`
+fn main() {
+    #[label(secret)]
+    let key = 12345;
+    let derived = key * 2;
+    println(derived);
+}
+`)
+	fmt.Println("verified:", rep.OK())
+	fmt.Println("stage:", rep.Stage)
+	for _, v := range rep.Violations {
+		fmt.Println(v)
+	}
+	// Output:
+	// verified: false
+	// stage: information flow
+	// 6:5: secret data (tainted at 4:5) flows to println with bound public
+}
+
+// Example_borrowChecker shows the ownership half of the pipeline: the
+// paper's aliasing exploit never reaches the flow analysis.
+func Example_borrowChecker() {
+	rep := verifier.Verify(`
+fn steal(v: Vec<i64>) { }
+fn main() {
+    let data = vec![1, 2, 3];
+    steal(data);
+    println(data);
+}
+`)
+	fmt.Println("stage:", rep.Stage)
+	fmt.Println(rep.Err)
+	// Output:
+	// stage: borrow check
+	// 6:13: borrow check error: use of moved value data (value moved at 5:11)
+}
+
+// Example_clean verifies a correct program and executes it under the
+// dynamic monitor as a cross-check.
+func Example_clean() {
+	rep := verifier.Verify(`
+fn main() {
+    #[label(secret)]
+    let key = 7;
+    let audited = declassify(key % 2, "public");
+    println(audited);
+}
+`)
+	fmt.Println("verified:", rep.OK())
+	res, _ := verifier.Execute(rep)
+	fmt.Print(res.Output)
+	fmt.Println("dynamic leak:", res.Err != nil)
+	// Output:
+	// verified: true
+	// 1
+	// dynamic leak: false
+}

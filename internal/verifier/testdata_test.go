@@ -1,0 +1,69 @@
+package verifier
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/minirust"
+)
+
+// The .mrs programs shipped in testdata/ are part of the repository's
+// public surface (the ifc-check CLI documents them); pin their verdicts.
+func testdataPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", name)
+}
+
+func readProgram(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(testdataPath(t, name))
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(b)
+}
+
+func TestTestdataPaperBuffer(t *testing.T) {
+	rep := Verify(readProgram(t, "paper_buffer.mrs"))
+	if rep.Stage != StageIFC || len(rep.Violations) != 1 {
+		t.Fatalf("paper_buffer.mrs: %s", rep)
+	}
+	if rep.Violations[0].Label != "secret" {
+		t.Fatalf("violation = %+v", rep.Violations[0])
+	}
+}
+
+func TestTestdataAliasExploit(t *testing.T) {
+	rep := Verify(readProgram(t, "alias_exploit.mrs"))
+	if rep.Stage != StageBorrowCheck {
+		t.Fatalf("alias_exploit.mrs stopped at %s: %s", rep.Stage, rep)
+	}
+	var be *minirust.BorrowError
+	if !errors.As(rep.Err, &be) || !strings.Contains(be.Msg, "nonsec") {
+		t.Fatalf("err = %v", rep.Err)
+	}
+}
+
+func TestTestdataCleanReport(t *testing.T) {
+	rep := Verify(readProgram(t, "clean_report.mrs"))
+	if !rep.OK() {
+		t.Fatalf("clean_report.mrs rejected: %s", rep)
+	}
+	if rep.Lattice.String() != "public < internal < secret" {
+		t.Fatalf("lattice = %s", rep.Lattice)
+	}
+	res, err := Execute(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("dynamic run: %v", res.Err)
+	}
+	want := "555\n4\n"
+	if res.Output != want {
+		t.Fatalf("output = %q, want %q", res.Output, want)
+	}
+}

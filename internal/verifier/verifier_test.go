@@ -1,0 +1,145 @@
+package verifier
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/minirust"
+)
+
+func TestVerifyCleanProgram(t *testing.T) {
+	rep := Verify(`
+fn main() {
+    #[label(public)]
+    let x = vec![1];
+    println(x);
+}
+`)
+	if !rep.OK() || rep.Stage != StageVerified {
+		t.Fatalf("report = %s", rep)
+	}
+	if !strings.Contains(rep.String(), "VERIFIED") {
+		t.Fatalf("render = %q", rep)
+	}
+}
+
+func TestVerifyStagesStopInOrder(t *testing.T) {
+	cases := []struct {
+		src   string
+		stage Stage
+	}{
+		{`fn main( {`, StageParse},
+		{`fn main() { let x = 1 + true; }`, StageTypeCheck},
+		{`fn t(v: Vec<i64>) { } fn main() { let v = vec![1]; t(v); t(v); }`, StageBorrowCheck},
+		{`fn main() { #[label(secret)] let s = 1; println(s); }`, StageIFC},
+	}
+	for _, c := range cases {
+		rep := Verify(c.src)
+		if rep.OK() {
+			t.Fatalf("%q verified", c.src)
+		}
+		if rep.Stage != c.stage {
+			t.Fatalf("%q stopped at %s, want %s", c.src, rep.Stage, c.stage)
+		}
+		if !strings.Contains(rep.String(), "REJECTED") {
+			t.Fatalf("render = %q", rep)
+		}
+	}
+}
+
+func TestVerifyPaperListing(t *testing.T) {
+	// Line 16 alone: IFC violation.
+	rep := Verify(minirust.PaperBufferProgram(true, false))
+	if rep.Stage != StageIFC || len(rep.Violations) != 1 {
+		t.Fatalf("line-16 report = %s", rep)
+	}
+	// Line 17 alone: borrow-check rejection (the compiler catches the
+	// aliasing exploit before IFC even runs).
+	rep = Verify(minirust.PaperBufferProgram(false, true))
+	if rep.Stage != StageBorrowCheck {
+		t.Fatalf("line-17 report = %s", rep)
+	}
+	var be *minirust.BorrowError
+	if !errors.As(rep.Err, &be) {
+		t.Fatalf("err = %T", rep.Err)
+	}
+	// Clean listing: verified.
+	rep = Verify(minirust.PaperBufferProgram(false, false))
+	if !rep.OK() {
+		t.Fatalf("clean listing rejected: %s", rep)
+	}
+}
+
+func TestExecuteVerifiedProgram(t *testing.T) {
+	rep := Verify(`
+fn main() {
+    println(6 * 7);
+}
+`)
+	res, err := Execute(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run err = %v", res.Err)
+	}
+	if strings.TrimSpace(res.Output) != "42" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestExecuteRejectsUnparsedProgram(t *testing.T) {
+	rep := Verify(`fn main( {`)
+	if _, err := Execute(rep); err == nil {
+		t.Fatal("Execute accepted unparsed program")
+	}
+}
+
+func TestExecuteMonitorAgreesWithStaticVerdict(t *testing.T) {
+	// A leaking program rejected statically also leaks dynamically.
+	src := `fn main() { #[label(secret)] let s = 1; println(s); }`
+	rep := Verify(src)
+	if rep.OK() {
+		t.Fatal("leak verified clean")
+	}
+	res, err := Execute(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leak *minirust.LeakError
+	if !errors.As(res.Err, &leak) {
+		t.Fatalf("dynamic run err = %v, want LeakError", res.Err)
+	}
+}
+
+func TestSummariesReported(t *testing.T) {
+	rep := Verify(`
+fn f(x: i64) -> i64 { return x; }
+fn main() {
+    println(f(1), f(1), f(1));
+}
+`)
+	if !rep.OK() {
+		t.Fatalf("report = %s", rep)
+	}
+	if rep.SummaryHits < 2 || rep.SummaryMisses < 2 {
+		t.Fatalf("summary stats = %d/%d", rep.SummaryHits, rep.SummaryMisses)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	names := map[Stage]string{
+		StageParse:       "parse",
+		StageTypeCheck:   "type check",
+		StageBorrowCheck: "borrow check",
+		StageIFC:         "information flow",
+		StageVerified:    "verified",
+		Stage(42):        "Stage(42)",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
