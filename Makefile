@@ -1,0 +1,35 @@
+GO ?= go
+
+# Packages whose concurrency is load-bearing: the sharded runtime, the
+# pool caches under it, and the linear-ownership cells that make it safe.
+RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear
+
+.PHONY: check build test race race-all vet fuzz bench
+
+## check: the PR gate — vet, build, full tests, race tier.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector pass over the concurrency-bearing packages.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+## race-all: race-detector pass over the whole module (slower).
+race-all:
+	$(GO) test -race ./...
+
+## fuzz: short fuzz smoke on the packet parser (seed corpus + 10s).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParsePacket -fuzztime=10s ./internal/packet
+
+## bench: the full testing.B harness.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .

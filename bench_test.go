@@ -125,6 +125,74 @@ func BenchmarkFigure2Maglev(b *testing.B) {
 	}
 }
 
+// --- Sharded runtime: multi-worker throughput scaling -------------------
+
+// benchSharded measures aggregate packet throughput through the sharded
+// runtime at a given worker count. The port runs in RSS-partitioned mode
+// (each queue's generator only emits flows that hash to that queue, like
+// hardware RSS) so packet generation adds no cross-worker contention and
+// the measurement isolates the runtime itself: per-worker pipelines,
+// per-queue mempool caches, and linear batch handoff. Scaling beyond one
+// worker requires GOMAXPROCS >= workers.
+func benchSharded(b *testing.B, workers int, isolated bool) {
+	b.Helper()
+	const batchSize = 32
+	const batchesPerWorker = 64
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: workers * 512,
+		RxQueues: workers,
+		QueueGen: dpdk.NewRSSPartition(dpdk.DefaultSpec(), 4096, workers),
+	})
+	ops := func() []netbricks.Operator {
+		return []netbricks.Operator{netbricks.Parse{}, netbricks.NullFilter{}, netbricks.NullFilter{}}
+	}
+	r := &netbricks.ShardedRunner{Port: port, Workers: workers, BatchSize: batchSize}
+	if isolated {
+		r.NewIsolated = func(int) (*netbricks.IsolatedPipeline, error) {
+			return netbricks.NewIsolatedPipeline(sfi.NewManager(), ops(), nil)
+		}
+	} else {
+		r.NewDirect = func(int) *netbricks.Pipeline {
+			return netbricks.NewPipeline(ops()...)
+		}
+	}
+	var total uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := r.Run(batchesPerWorker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Packets == 0 {
+			b.Fatal("no packets processed")
+		}
+		total += stats.Packets
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkShardedDirect is throughput scaling for unprotected per-worker
+// pipelines: the paper's §3 experiment extended across cores.
+func BenchmarkShardedDirect(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSharded(b, w, false)
+		})
+	}
+}
+
+// BenchmarkShardedIsolated is the same scaling sweep with every stage of
+// every worker in its own protection domain — isolation overhead must not
+// grow with worker count, since domains share nothing across workers.
+func BenchmarkShardedIsolated(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchSharded(b, w, true)
+		})
+	}
+}
+
 // --- §3 scalar: recovery cost ------------------------------------------
 
 // BenchmarkRecovery measures catching an injected panic, clearing the

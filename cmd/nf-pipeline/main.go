@@ -9,6 +9,7 @@
 //	nf-pipeline -batches 1000 -size 64
 //	nf-pipeline -inject 500              # panic the firewall on batch 500
 //	nf-pipeline -direct                  # baseline without isolation
+//	nf-pipeline -workers 4               # sharded: 4 workers, RSS steering
 package main
 
 import (
@@ -52,13 +53,30 @@ func main() {
 		inject  = flag.Int("inject", 0, "panic the firewall stage on this batch (0 = never)")
 		direct  = flag.Bool("direct", false, "run without isolation (baseline)")
 		flows   = flag.Int("flows", 4096, "distinct synthetic flows")
+		workers = flag.Int("workers", 1, "parallel pipeline workers (RSS-sharded when > 1)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		log.Fatal("-workers must be >= 1")
+	}
 
-	// Substrate: traffic source, firewall rules, Maglev backends.
+	// Substrate: traffic source, firewall rules, Maglev backends. With
+	// multiple workers the port runs in steered mode: one shared flow
+	// generator fanned out to per-queue rings by the RSS hash. The pool
+	// must cover every ring, every per-queue cache, and in-flight batches,
+	// or the distributor starves queues whose rings sit full while the
+	// pool is empty (the classic DPDK pool-vs-lcore-cache sizing caveat).
+	ringSize := 4 * *size
+	if ringSize < 128 {
+		ringSize = 128
+	}
+	cacheSize := *size
 	port := dpdk.NewPort(dpdk.Config{
-		PoolSize: *size + 128,
-		Gen:      dpdk.NewZipfFlows(dpdk.DefaultSpec(), *flows, 1.3, 42),
+		PoolSize:   *workers*(ringSize+cacheSize+*size) + 256,
+		RxQueues:   *workers,
+		RxRingSize: ringSize,
+		CacheSize:  cacheSize,
+		Gen:        dpdk.NewZipfFlows(dpdk.DefaultSpec(), *flows, 1.3, 42),
 	})
 	db := firewall.NewDB(firewall.Deny)
 	// Admit the synthetic service prefix; everything else drops.
@@ -69,20 +87,33 @@ func main() {
 	for i := range backends {
 		backends[i] = maglev.Backend{Name: fmt.Sprintf("be-%d", i), IP: packet.Addr(10, 1, 0, byte(i+1))}
 	}
-	lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
-	if err != nil {
-		log.Fatal(err)
+
+	// Each worker owns a private balancer: RSS flow affinity guarantees a
+	// flow's packets all reach the same worker, so per-worker connection
+	// tables are exact, not approximate. The rule DB is read-only after
+	// setup and safely shared.
+	balancers := make([]*maglev.Balancer, *workers)
+	for w := range balancers {
+		lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		balancers[w] = lb
 	}
 
-	fw := &faultyFirewall{Operator: firewall.Operator{DB: db}, panicOn: *inject}
-	stages := []netbricks.Operator{netbricks.Parse{}, fw, maglev.Operator{LB: lb}}
-
-	runner := netbricks.Runner{Port: port, BatchSize: *size}
-	if *direct {
-		runner.Direct = netbricks.NewPipeline(stages...)
-	} else {
-		mgr := sfi.NewManager()
-		factories := []func() netbricks.Operator{
+	// stagesFor builds worker w's private pipeline stages. Fault injection
+	// targets worker 0's firewall so a sharded run demonstrates that one
+	// worker's crash leaves the others untouched.
+	stagesFor := func(w int) []netbricks.Operator {
+		panicOn := 0
+		if w == 0 {
+			panicOn = *inject
+		}
+		fw := &faultyFirewall{Operator: firewall.Operator{DB: db}, panicOn: panicOn}
+		return []netbricks.Operator{netbricks.Parse{}, fw, maglev.Operator{LB: balancers[w]}}
+	}
+	recoveryFor := func(w int) []func() netbricks.Operator {
+		return []func() netbricks.Operator{
 			nil,
 			func() netbricks.Operator {
 				// Recovery reinitializes the firewall from clean state.
@@ -90,16 +121,40 @@ func main() {
 			},
 			nil,
 		}
-		iso, err := netbricks.NewIsolatedPipeline(mgr, stages, factories)
-		if err != nil {
-			log.Fatal(err)
-		}
-		runner.Isolated = iso
-		runner.AutoRecover = true
 	}
 
+	var stats netbricks.RunStats
+	var err error
 	c := cycles.Start()
-	stats, err := runner.Run(sfi.NewContext(), *batches)
+	if *workers == 1 {
+		runner := netbricks.Runner{Port: port, BatchSize: *size}
+		if *direct {
+			runner.Direct = netbricks.NewPipeline(stagesFor(0)...)
+		} else {
+			iso, ierr := netbricks.NewIsolatedPipeline(sfi.NewManager(), stagesFor(0), recoveryFor(0))
+			if ierr != nil {
+				log.Fatal(ierr)
+			}
+			runner.Isolated = iso
+			runner.AutoRecover = true
+		}
+		stats, err = runner.Run(sfi.NewContext(), *batches)
+	} else {
+		runner := netbricks.ShardedRunner{
+			Port: port, Workers: *workers, BatchSize: *size,
+		}
+		if *direct {
+			runner.NewDirect = func(w int) *netbricks.Pipeline {
+				return netbricks.NewPipeline(stagesFor(w)...)
+			}
+		} else {
+			runner.NewIsolated = func(w int) (*netbricks.IsolatedPipeline, error) {
+				return netbricks.NewIsolatedPipeline(sfi.NewManager(), stagesFor(w), recoveryFor(w))
+			}
+			runner.AutoRecover = true
+		}
+		stats, err = runner.Run(*batches)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,6 +165,9 @@ func main() {
 		mode = "direct (no isolation)"
 	}
 	fmt.Printf("pipeline:   parse -> firewall -> maglev, %s\n", mode)
+	if *workers > 1 {
+		fmt.Printf("sharding:   %d workers, RSS flow steering (%d-entry RETA)\n", *workers, packet.DefaultRETASize)
+	}
 	fmt.Printf("batches:    %d processed (%d packets, %d filtered)\n", stats.Batches, stats.Packets, stats.Drops)
 	if stats.Faults > 0 {
 		fmt.Printf("faults:     %d injected, %d recovered; pipeline kept running\n", stats.Faults, stats.Recovered)
@@ -120,7 +178,15 @@ func main() {
 			elapsed/float64(stats.Packets),
 			cycles.Frequency())
 	}
-	hits, misses := lb.Stats()
-	fmt.Printf("maglev:     %d tracked connections, %d table hits, %d new flows\n", lb.ConnCount(), hits, misses)
-	fmt.Printf("port:       rx=%d tx=%d\n", port.Stats.RxPackets.Load(), port.Stats.TxPackets.Load())
+	var conns int
+	var hits, misses uint64
+	for _, lb := range balancers {
+		h, m := lb.Stats()
+		hits += h
+		misses += m
+		conns += lb.ConnCount()
+	}
+	fmt.Printf("maglev:     %d tracked connections, %d table hits, %d new flows\n", conns, hits, misses)
+	fmt.Printf("port:       rx=%d tx=%d missed=%d\n",
+		port.Stats.RxPackets.Load(), port.Stats.TxPackets.Load(), port.Stats.RxMissed.Load())
 }

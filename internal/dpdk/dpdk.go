@@ -13,8 +13,8 @@
 package dpdk
 
 import (
-	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/mempool"
@@ -97,13 +97,27 @@ type PortStats struct {
 	TxPackets atomic.Uint64
 	TxBytes   atomic.Uint64
 	AllocFail atomic.Uint64
+	// RxMissed counts packets the steering path dropped because the
+	// destination queue's descriptor ring was full (the rx_missed
+	// counter of real NICs): the owning worker was not draining fast
+	// enough.
+	RxMissed atomic.Uint64
 }
 
-// Port is a simulated poll-mode NIC port.
+// Port is a simulated poll-mode NIC port with one or more receive
+// queues. Multi-queue ports steer flows to queues RSS-style: every
+// packet of one flow lands on the same queue, so one worker per queue
+// sees complete flows.
 type Port struct {
 	Index int
 	pool  *mempool.Pool[packet.Packet]
-	gen   Generator
+	gen   Generator // shared traffic source (single-queue and steered modes)
+
+	reta    *packet.RETA
+	rssKey  packet.RSSKey
+	steered bool // software-RSS distributor mode (shared gen, per-queue rings)
+	queues  []*rxQueue
+	fillMu  sync.Mutex // serializes the shared generator on the steered fill path
 
 	// Stats is exported for harnesses.
 	Stats PortStats
@@ -114,23 +128,62 @@ type Config struct {
 	Index    int
 	PoolSize int // number of mbufs; default 4096
 	Gen      Generator
+
+	// RxQueues is the number of receive queues (default 1). With more
+	// than one queue the port steers flows by RSS hash: either in
+	// hardware style — QueueGen supplies an independent traffic source
+	// per queue whose flows already belong to that queue (see
+	// NewRSSPartition) — or, when QueueGen is nil, through a software
+	// distributor that hashes packets from Gen and fans them out to
+	// per-queue rings.
+	RxQueues int
+	// QueueGen, when set, supplies the traffic source for each queue.
+	QueueGen func(queue int) Generator
+	// CacheSize bounds each queue's local mempool cache (default
+	// mempool.DefaultCacheSize, clamped to the pool size).
+	CacheSize int
+	// RxRingSize bounds each queue's descriptor ring in steered mode
+	// (default 512, rounded up to a power of two).
+	RxRingSize int
 }
 
-// NewPort creates a port backed by its own mempool and generator.
+// NewPort creates a port backed by its own mempool and generator(s).
 func NewPort(cfg Config) *Port {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = 4096
 	}
-	if cfg.Gen == nil {
+	if cfg.RxQueues <= 0 {
+		cfg.RxQueues = 1
+	}
+	if cfg.Gen == nil && cfg.QueueGen == nil {
 		cfg.Gen = &FixedFlow{Spec: DefaultSpec()}
 	}
-	return &Port{
-		Index: cfg.Index,
-		gen:   cfg.Gen,
+	if cfg.RxRingSize <= 0 {
+		cfg.RxRingSize = 512
+	}
+	p := &Port{
+		Index:  cfg.Index,
+		gen:    cfg.Gen,
+		rssKey: packet.DefaultRSSKey,
+		reta:   packet.NewRETA(cfg.RxQueues, 0),
 		pool: mempool.NewPool(cfg.PoolSize, func() *packet.Packet {
 			return &packet.Packet{Data: make([]byte, 0, MbufSize)}
 		}),
 	}
+	p.steered = cfg.RxQueues > 1 && cfg.QueueGen == nil
+	for q := 0; q < cfg.RxQueues; q++ {
+		rq := &rxQueue{cache: mempool.NewCache(p.pool, cfg.CacheSize)}
+		switch {
+		case cfg.QueueGen != nil:
+			rq.gen = cfg.QueueGen(q)
+		case !p.steered:
+			rq.gen = cfg.Gen
+		default:
+			rq.ring = mempool.NewRing[*packet.Packet](cfg.RxRingSize)
+		}
+		p.queues = append(p.queues, rq)
+	}
+	return p
 }
 
 // DefaultSpec is a representative 64-byte-payload UDP flow.
@@ -151,31 +204,10 @@ func DefaultSpec() packet.BuildSpec {
 
 // RxBurst fills out with up to len(out) freshly generated packets,
 // returning the count. Buffers come from the port mempool; the caller owns
-// them until TxBurst or Free returns them.
+// them until TxBurst or Free returns them. On a multi-queue port this is
+// equivalent to polling queue 0.
 func (p *Port) RxBurst(out []*packet.Packet) int {
-	n := 0
-	var spec packet.BuildSpec
-	for n < len(out) {
-		pkt, err := p.pool.Get()
-		if err != nil {
-			p.Stats.AllocFail.Add(1)
-			break
-		}
-		p.gen.NextSpec(&spec)
-		frame, err := packet.Build(pkt.Data[:0], spec)
-		if err != nil {
-			p.pool.Put(pkt)
-			panic(fmt.Sprintf("dpdk: generator produced invalid spec: %v", err))
-		}
-		pkt.Data = frame
-		pkt.Reset()
-		pkt.RxPort = p.Index
-		out[n] = pkt
-		n++
-		p.Stats.RxPackets.Add(1)
-		p.Stats.RxBytes.Add(uint64(len(frame)))
-	}
-	return n
+	return p.RxBurstQueue(0, out)
 }
 
 // TxBurst transmits the packets (accounting only — there is no wire) and
@@ -203,5 +235,16 @@ func (p *Port) Free(pkts []*packet.Packet) {
 	}
 }
 
-// PoolAvailable reports free mbufs, for leak assertions in tests.
-func (p *Port) PoolAvailable() int { return p.pool.Available() }
+// PoolAvailable reports free mbufs — in the shared pool plus every
+// queue's local cache — for leak assertions in tests. Cached buffers are
+// free (a worker can allocate them without touching the pool); only
+// buffers held by in-flight packets are excluded.
+func (p *Port) PoolAvailable() int {
+	n := p.pool.Available()
+	for _, rq := range p.queues {
+		rq.mu.Lock()
+		n += rq.cache.Len()
+		rq.mu.Unlock()
+	}
+	return n
+}

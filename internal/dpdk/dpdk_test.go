@@ -3,11 +3,13 @@ package dpdk
 import (
 	"testing"
 
+	"repro/internal/leakcheck"
 	"repro/internal/packet"
 )
 
 func TestRxBurstFillsBatch(t *testing.T) {
 	p := NewPort(Config{PoolSize: 64})
+	leakcheck.Pool(t, "port", p.PoolAvailable)
 	batch := make([]*packet.Packet, 32)
 	n := p.RxBurst(batch)
 	if n != 32 {
@@ -27,10 +29,12 @@ func TestRxBurstFillsBatch(t *testing.T) {
 	if got := p.Stats.RxPackets.Load(); got != 32 {
 		t.Fatalf("RxPackets = %d", got)
 	}
+	p.Free(batch[:n])
 }
 
 func TestRxBurstExhaustsPool(t *testing.T) {
 	p := NewPort(Config{PoolSize: 8})
+	leakcheck.Pool(t, "port", p.PoolAvailable)
 	batch := make([]*packet.Packet, 16)
 	n := p.RxBurst(batch)
 	if n != 8 {
@@ -47,6 +51,7 @@ func TestRxBurstExhaustsPool(t *testing.T) {
 
 func TestTxBurstRecycles(t *testing.T) {
 	p := NewPort(Config{PoolSize: 16})
+	leakcheck.Pool(t, "port", p.PoolAvailable)
 	batch := make([]*packet.Packet, 16)
 	n := p.RxBurst(batch)
 	sent := p.TxBurst(batch[:n])
@@ -69,6 +74,7 @@ func TestTxBurstRecycles(t *testing.T) {
 
 func TestTxBurstSkipsNil(t *testing.T) {
 	p := NewPort(Config{PoolSize: 4})
+	leakcheck.Pool(t, "port", p.PoolAvailable)
 	batch := make([]*packet.Packet, 2)
 	n := p.RxBurst(batch)
 	if n != 2 {

@@ -1,0 +1,248 @@
+package dpdk
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/leakcheck"
+	"repro/internal/packet"
+)
+
+func TestPartitionedQueuesDeliverOwnFlows(t *testing.T) {
+	const queues = 4
+	p := NewPort(Config{
+		PoolSize: 512,
+		RxQueues: queues,
+		QueueGen: NewRSSPartition(DefaultSpec(), 256, queues),
+	})
+	leakcheck.Pool(t, "partitioned port", p.PoolAvailable)
+	if p.Queues() != queues {
+		t.Fatalf("Queues() = %d", p.Queues())
+	}
+	buf := make([]*packet.Packet, 16)
+	for q := 0; q < queues; q++ {
+		n := p.RxBurstQueue(q, buf)
+		if n == 0 {
+			t.Fatalf("queue %d produced no packets", q)
+		}
+		for _, pkt := range buf[:n] {
+			if err := pkt.Parse(); err != nil {
+				t.Fatalf("queue %d produced unparsable packet: %v", q, err)
+			}
+			if got := p.RSSQueue(pkt.Tuple()); got != q {
+				t.Fatalf("queue %d delivered a flow that hashes to queue %d", q, got)
+			}
+			if pkt.RxQueue != q {
+				t.Fatalf("RxQueue stamp = %d, want %d", pkt.RxQueue, q)
+			}
+			if pkt.RxHash != pkt.Tuple().RSSHash(packet.DefaultRSSKey) {
+				t.Fatal("deposited RSS hash wrong")
+			}
+		}
+		p.TxBurstQueue(q, buf[:n])
+	}
+	p.Drain()
+}
+
+func TestSteeredQueuesPreserveFlowAffinity(t *testing.T) {
+	const queues = 4
+	p := NewPort(Config{
+		PoolSize: 1024,
+		RxQueues: queues,
+		Gen:      &UniformFlows{Base: DefaultSpec(), Flows: 64},
+	})
+	leakcheck.Pool(t, "steered port", p.PoolAvailable)
+	buf := make([]*packet.Packet, 16)
+	seen := map[packet.FiveTuple]int{}
+	for round := 0; round < 10; round++ {
+		for q := 0; q < queues; q++ {
+			n := p.RxBurstQueue(q, buf)
+			for _, pkt := range buf[:n] {
+				if err := pkt.Parse(); err != nil {
+					t.Fatal(err)
+				}
+				if prev, ok := seen[pkt.Tuple()]; ok && prev != q {
+					t.Fatalf("flow %v seen on queues %d and %d", pkt.Tuple(), prev, q)
+				}
+				seen[pkt.Tuple()] = q
+				if got := p.RSSQueue(pkt.Tuple()); got != q {
+					t.Fatalf("flow on queue %d but RETA says %d", q, got)
+				}
+			}
+			p.FreeQueue(q, buf[:n])
+		}
+	}
+	if len(seen) < queues {
+		t.Fatalf("only %d flows observed", len(seen))
+	}
+	p.Drain()
+}
+
+// TestSteeredRingOverflowDropsNotLeaks: when one queue is never polled,
+// its ring fills and further packets for it are dropped (rx_missed), but
+// every buffer stays accounted for.
+func TestSteeredRingOverflowDropsNotLeaks(t *testing.T) {
+	p := NewPort(Config{
+		PoolSize:   4096,
+		RxQueues:   2,
+		RxRingSize: 64,
+		Gen:        &UniformFlows{Base: DefaultSpec(), Flows: 64},
+	})
+	leakcheck.Pool(t, "overflow port", p.PoolAvailable)
+	buf := make([]*packet.Packet, 32)
+	// Poll only queue 0; queue 1's ring must overflow eventually.
+	for i := 0; i < 50; i++ {
+		n := p.RxBurstQueue(0, buf)
+		p.TxBurstQueue(0, buf[:n])
+	}
+	if p.Stats.RxMissed.Load() == 0 {
+		t.Fatal("no rx_missed recorded despite unpolled queue")
+	}
+	p.Drain()
+}
+
+// TestSteeredBackpressureBudget: a queue whose flows never appear
+// returns 0 rather than spinning forever.
+func TestSteeredBackpressureBudget(t *testing.T) {
+	p := NewPort(Config{
+		PoolSize: 256,
+		RxQueues: 2,
+		Gen:      &FixedFlow{Spec: DefaultSpec()}, // one flow: one queue gets everything
+	})
+	leakcheck.Pool(t, "fixed-flow port", p.PoolAvailable)
+	buf := make([]*packet.Packet, 8)
+	home := p.RSSQueue(DefaultSpec().Tuple)
+	other := 1 - home
+	if n := p.RxBurstQueue(other, buf); n != 0 {
+		t.Fatalf("queue %d got %d packets of a flow steered to %d", other, n, home)
+	}
+	n := p.RxBurstQueue(home, buf)
+	if n != 8 {
+		t.Fatalf("home queue got %d packets, want 8", n)
+	}
+	p.FreeQueue(home, buf[:n])
+	p.Drain()
+}
+
+func TestDrainConsolidatesRingsAndCaches(t *testing.T) {
+	p := NewPort(Config{
+		PoolSize: 512,
+		RxQueues: 2,
+		Gen:      &UniformFlows{Base: DefaultSpec(), Flows: 64},
+	})
+	buf := make([]*packet.Packet, 16)
+	n := p.RxBurstQueue(0, buf) // fills both rings, returns queue 0's share
+	p.TxBurstQueue(0, buf[:n])  // parks buffers in queue 0's cache
+	p.Drain()
+	// After drain, the shared pool itself (not just pool+caches) is whole.
+	if avail := p.PoolAvailable(); avail != 512 {
+		t.Fatalf("available = %d after drain, want 512", avail)
+	}
+}
+
+func TestConcurrentQueuePolling(t *testing.T) {
+	const queues = 8
+	p := NewPort(Config{
+		PoolSize: 2048,
+		RxQueues: queues,
+		QueueGen: NewRSSPartition(DefaultSpec(), 1024, queues),
+	})
+	leakcheck.Pool(t, "concurrent port", p.PoolAvailable)
+	var wg sync.WaitGroup
+	for q := 0; q < queues; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			buf := make([]*packet.Packet, 16)
+			for i := 0; i < 200; i++ {
+				n := p.RxBurstQueue(q, buf)
+				p.TxBurstQueue(q, buf[:n])
+			}
+		}(q)
+	}
+	wg.Wait()
+	p.Drain()
+	if p.Stats.RxPackets.Load() != p.Stats.TxPackets.Load() {
+		t.Fatalf("rx %d != tx %d", p.Stats.RxPackets.Load(), p.Stats.TxPackets.Load())
+	}
+}
+
+// TestConcurrentSteeredPolling exercises the shared distributor from
+// every queue's worker at once (the -race hot spot for fillMu).
+func TestConcurrentSteeredPolling(t *testing.T) {
+	const queues = 4
+	p := NewPort(Config{
+		PoolSize: 2048,
+		RxQueues: queues,
+		Gen:      NewZipfFlows(DefaultSpec(), 256, 1.3, 11),
+	})
+	leakcheck.Pool(t, "steered concurrent port", p.PoolAvailable)
+	var wg sync.WaitGroup
+	for q := 0; q < queues; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			buf := make([]*packet.Packet, 16)
+			for i := 0; i < 100; i++ {
+				n := p.RxBurstQueue(q, buf)
+				p.TxBurstQueue(q, buf[:n])
+			}
+		}(q)
+	}
+	wg.Wait()
+	p.Drain()
+}
+
+func TestQueueIndexOutOfRangePanics(t *testing.T) {
+	p := NewPort(Config{PoolSize: 16})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p.RxBurstQueue(1, make([]*packet.Packet, 1))
+}
+
+func TestNewRSSPartitionCoversAllFlows(t *testing.T) {
+	const queues = 4
+	const flows = 500
+	factory := NewRSSPartition(DefaultSpec(), flows, queues)
+	reta := packet.NewRETA(queues, 0)
+	total := 0
+	for q := 0; q < queues; q++ {
+		gen := factory(q)
+		if gen == nil {
+			continue
+		}
+		// Walk one full cycle of the partition.
+		seen := map[packet.FiveTuple]bool{}
+		var spec packet.BuildSpec
+		for {
+			gen.NextSpec(&spec)
+			if seen[spec.Tuple] {
+				break
+			}
+			seen[spec.Tuple] = true
+			if got := reta.Queue(spec.Tuple.RSSHash(packet.DefaultRSSKey)); got != q {
+				t.Fatalf("partition %d contains flow for queue %d", q, got)
+			}
+		}
+		total += len(seen)
+	}
+	if total != flows {
+		t.Fatalf("partitions cover %d flows, want %d", total, flows)
+	}
+}
+
+func TestNewRSSPartitionValidation(t *testing.T) {
+	for _, c := range []struct{ flows, queues int }{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("flows=%d queues=%d: no panic", c.flows, c.queues)
+				}
+			}()
+			NewRSSPartition(DefaultSpec(), c.flows, c.queues)
+		}()
+	}
+}

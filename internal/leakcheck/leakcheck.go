@@ -1,0 +1,31 @@
+// Package leakcheck asserts buffer-pool conservation in tests: every
+// mbuf a port hands out must be back in its pool (or a queue cache) by
+// the time the test ends. Runners that lose packets — to faults, drops,
+// or sharded-worker shutdown — must still return every buffer, or the
+// simulated NIC would exhaust its pool under sustained traffic exactly
+// like a leaking DPDK application.
+//
+// Usage, at the top of any test that allocates from a port or pool:
+//
+//	port := dpdk.NewPort(...)
+//	leakcheck.Pool(t, "port", port.PoolAvailable)
+//
+// The assertion runs in t.Cleanup, after the body and any deferred
+// drains.
+package leakcheck
+
+import "testing"
+
+// Pool records avail()'s current value and, when the test ends, fails it
+// if the value has not returned to that baseline. name labels the pool
+// in the failure message.
+func Pool(t testing.TB, name string, avail func() int) {
+	t.Helper()
+	initial := avail()
+	t.Cleanup(func() {
+		if got := avail(); got != initial {
+			t.Errorf("leakcheck: %s: %d buffers available at test end, want %d (leaked %d)",
+				name, got, initial, initial-got)
+		}
+	})
+}

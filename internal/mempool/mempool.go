@@ -82,6 +82,52 @@ func (p *Pool[T]) Put(obj *T) {
 	p.puts.Add(1)
 }
 
+// GetBurst fills out with up to len(out) objects under a single lock
+// acquisition (rte_mempool_get_bulk-style, except partial fills are
+// allowed like the burst ring ops). It returns the number obtained; a
+// short return counts one miss.
+func (p *Pool[T]) GetBurst(out []*T) int {
+	p.mu.Lock()
+	n := len(out)
+	if avail := len(p.free); n > avail {
+		n = avail
+	}
+	split := len(p.free) - n
+	for i := 0; i < n; i++ {
+		out[i] = p.free[split+i]
+		p.free[split+i] = nil
+	}
+	p.free = p.free[:split]
+	p.mu.Unlock()
+	p.gets.Add(uint64(n))
+	if n < len(out) {
+		p.misses.Add(1)
+	}
+	return n
+}
+
+// PutBurst returns all objects in objs under a single lock acquisition.
+// Like Put, overflowing capacity or returning nil panics.
+func (p *Pool[T]) PutBurst(objs []*T) {
+	if len(objs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free)+len(objs) > p.cap {
+		p.mu.Unlock()
+		panic("mempool: PutBurst beyond capacity (double free?)")
+	}
+	for _, obj := range objs {
+		if obj == nil {
+			p.mu.Unlock()
+			panic("mempool: PutBurst(nil)")
+		}
+		p.free = append(p.free, obj)
+	}
+	p.mu.Unlock()
+	p.puts.Add(uint64(len(objs)))
+}
+
 // Available reports how many objects are currently free.
 func (p *Pool[T]) Available() int {
 	p.mu.Lock()

@@ -5,17 +5,23 @@ import (
 	"testing"
 
 	"repro/internal/dpdk"
+	"repro/internal/leakcheck"
 	"repro/internal/linear"
 	"repro/internal/packet"
 	"repro/internal/sfi"
 )
 
-func newPort(pool int) *dpdk.Port {
-	return dpdk.NewPort(dpdk.Config{PoolSize: pool})
+// newPort builds a port and registers the pool-leak invariant: every
+// buffer must be back by test end.
+func newPort(t *testing.T, pool int) *dpdk.Port {
+	t.Helper()
+	port := dpdk.NewPort(dpdk.Config{PoolSize: pool})
+	leakcheck.Pool(t, "port", port.PoolAvailable)
+	return port
 }
 
 func TestDirectPipelineNullFilters(t *testing.T) {
-	port := newPort(128)
+	port := newPort(t, 128)
 	pl := NewPipeline(NullFilter{}, NullFilter{}, NullFilter{})
 	r := &Runner{Port: port, BatchSize: 32, Direct: pl}
 	stats, err := r.Run(sfi.NewContext(), 10)
@@ -49,7 +55,7 @@ func TestPipelineMoveSemantics(t *testing.T) {
 }
 
 func TestParseAndFilterDropping(t *testing.T) {
-	port := newPort(64)
+	port := newPort(t, 64)
 	evenPort := Filter{Label: "even-src", Pred: func(p *packet.Packet) bool {
 		return p.Tuple().SrcPort%2 == 0
 	}}
@@ -87,7 +93,7 @@ func TestIsolatedPipelineProcesses(t *testing.T) {
 	if ip.Len() != 5 {
 		t.Fatalf("Len = %d", ip.Len())
 	}
-	port := newPort(64)
+	port := newPort(t, 64)
 	r := &Runner{Port: port, BatchSize: 8, Isolated: ip}
 	stats, err := r.Run(sfi.NewContext(), 5)
 	if err != nil {
@@ -149,7 +155,7 @@ func TestIsolatedPipelineFaultContainmentAndRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	port := newPort(64)
+	port := newPort(t, 64)
 	r := &Runner{Port: port, BatchSize: 4, Isolated: ip, AutoRecover: true}
 	stats, err := r.Run(sfi.NewContext(), 10)
 	if err != nil {
@@ -177,7 +183,7 @@ func TestIsolatedPipelineFaultWithoutRecoveryStops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	port := newPort(16)
+	port := newPort(t, 16)
 	r := &Runner{Port: port, BatchSize: 4, Isolated: ip}
 	_, err = r.Run(sfi.NewContext(), 5)
 	if !errors.Is(err, ErrStageFailed) || !errors.Is(err, sfi.ErrDomainFailed) {
@@ -240,13 +246,13 @@ func TestRunParallelFaultsContainedPerWorker(t *testing.T) {
 
 func TestRunParallelValidation(t *testing.T) {
 	r := &Runner{BatchSize: 4, Direct: NewPipeline()}
-	if _, err := r.RunParallel(0, 1, func(int) *dpdk.Port { return newPort(4) }); err == nil {
+	if _, err := r.RunParallel(0, 1, func(int) *dpdk.Port { return newPort(t, 4) }); err == nil {
 		t.Fatal("zero workers accepted")
 	}
 }
 
 func TestRunnerValidation(t *testing.T) {
-	port := newPort(8)
+	port := newPort(t, 8)
 	r := &Runner{Port: port, BatchSize: 4}
 	if _, err := r.Run(sfi.NewContext(), 1); err == nil {
 		t.Fatal("runner with no pipeline accepted")

@@ -1,0 +1,198 @@
+// Sharded multi-worker pipeline runtime.
+//
+// The paper's §3 evaluation drives one pipeline from one thread; real NF
+// deployments scale out by giving each core its own receive queue and
+// running an independent pipeline instance per core, with the NIC's RSS
+// hash keeping every packet of one flow on the same core. This file adds
+// that runtime. It is safe by the same argument the paper makes for the
+// single pipeline: a batch is linearly owned by exactly one stage of one
+// worker at any time, so workers cannot race on packet data no matter
+// how many run — ownership, not locking, is the synchronization.
+//
+// Everything per-worker is genuinely per-worker: the pipeline instance
+// (operators and their state), the sfi.Context (the paper's thread-local
+// current-domain store), the receive queue with its mempool cache, and
+// the stats cell. The only shared structures on the hot path are the
+// port's mempool (touched in amortized bursts through the per-queue
+// caches) and, in steered mode, the distributor.
+package netbricks
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dpdk"
+	"repro/internal/linear"
+	"repro/internal/packet"
+	"repro/internal/sfi"
+)
+
+// WorkerStats holds one worker's counters. Fields are atomic so harnesses
+// can read them while the run is live; each cell is written by exactly
+// one worker.
+type WorkerStats struct {
+	Batches   atomic.Uint64
+	Packets   atomic.Uint64
+	Drops     atomic.Uint64
+	Faults    atomic.Uint64
+	Recovered atomic.Uint64
+	// IdlePolls counts receive polls that returned no packets (steered
+	// mode back-pressure, or an empty RSS partition).
+	IdlePolls atomic.Uint64
+}
+
+// Snapshot converts the counters into a RunStats.
+func (w *WorkerStats) Snapshot() RunStats {
+	return RunStats{
+		Batches:   int(w.Batches.Load()),
+		Packets:   w.Packets.Load(),
+		Drops:     w.Drops.Load(),
+		Faults:    int(w.Faults.Load()),
+		Recovered: int(w.Recovered.Load()),
+	}
+}
+
+// maxIdlePolls is how many consecutive empty receive polls a worker
+// tolerates before concluding its queue has no more traffic.
+const maxIdlePolls = 8
+
+// ShardedRunner drives one multi-queue port with one worker goroutine
+// per receive queue. Each worker owns a private pipeline instance (built
+// by the factory, so per-stage NF state is sharded, never shared) and a
+// private sfi.Context, and processes batches run-to-completion exactly
+// like Runner. RSS steering in the port guarantees flow affinity:
+// per-flow state such as a load balancer's connection table is correct
+// without any cross-worker coordination.
+type ShardedRunner struct {
+	Port      *dpdk.Port // must expose at least Workers receive queues
+	Workers   int
+	BatchSize int
+	// NewDirect and NewIsolated are alternatives; exactly one must be
+	// set. The factory runs once per worker, before traffic starts.
+	NewDirect   func(worker int) *Pipeline
+	NewIsolated func(worker int) (*IsolatedPipeline, error)
+	// AutoRecover makes workers recover failed stages and continue.
+	AutoRecover bool
+
+	stats []*WorkerStats
+}
+
+// WorkerSnapshots reports per-worker stats for the most recent Run (live
+// values while a run is in progress).
+func (r *ShardedRunner) WorkerSnapshots() []RunStats {
+	out := make([]RunStats, len(r.stats))
+	for i, ws := range r.stats {
+		out[i] = ws.Snapshot()
+	}
+	return out
+}
+
+// Run processes up to n batches on every worker and returns the
+// aggregated stats and the first worker error. On return the port has
+// been drained: every buffer is back in the pool (or a queue cache), so
+// pool-leak accounting balances.
+func (r *ShardedRunner) Run(n int) (RunStats, error) {
+	if r.Workers <= 0 {
+		return RunStats{}, errors.New("netbricks: workers must be positive")
+	}
+	if r.BatchSize <= 0 {
+		return RunStats{}, errors.New("netbricks: BatchSize must be positive")
+	}
+	if (r.NewDirect == nil) == (r.NewIsolated == nil) {
+		return RunStats{}, errors.New("netbricks: set exactly one of NewDirect or NewIsolated")
+	}
+	if r.Port == nil {
+		return RunStats{}, errors.New("netbricks: Port must be set")
+	}
+	if r.Port.Queues() < r.Workers {
+		return RunStats{}, errors.New("netbricks: port has fewer RX queues than workers")
+	}
+	r.stats = make([]*WorkerStats, r.Workers)
+	for w := range r.stats {
+		r.stats[w] = &WorkerStats{}
+	}
+	errs := make([]error, r.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < r.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = r.runWorker(w, n)
+		}(w)
+	}
+	wg.Wait()
+	r.Port.Drain()
+	var agg RunStats
+	for _, ws := range r.stats {
+		s := ws.Snapshot()
+		agg.Batches += s.Batches
+		agg.Packets += s.Packets
+		agg.Drops += s.Drops
+		agg.Faults += s.Faults
+		agg.Recovered += s.Recovered
+	}
+	return agg, errors.Join(errs...)
+}
+
+// runWorker is one worker's run-to-completion loop over its own queue.
+func (r *ShardedRunner) runWorker(w, n int) error {
+	var direct *Pipeline
+	var isolated *IsolatedPipeline
+	if r.NewDirect != nil {
+		direct = r.NewDirect(w)
+	} else {
+		var err error
+		isolated, err = r.NewIsolated(w)
+		if err != nil {
+			return err
+		}
+	}
+	ctx := sfi.NewContext()
+	ws := r.stats[w]
+	buf := make([]*packet.Packet, r.BatchSize)
+	idle := 0
+	for i := 0; i < n; {
+		got := r.Port.RxBurstQueue(w, buf)
+		if got == 0 {
+			ws.IdlePolls.Add(1)
+			idle++
+			if idle >= maxIdlePolls {
+				return nil
+			}
+			continue
+		}
+		idle = 0
+		i++
+		batch := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
+		owned := linear.New(batch)
+		var err error
+		if direct != nil {
+			owned, err = direct.Process(owned)
+		} else {
+			owned, err = isolated.Process(ctx, owned)
+		}
+		if err != nil {
+			ws.Faults.Add(1)
+			r.Port.FreeQueue(w, buf[:got])
+			if r.AutoRecover && isolated != nil {
+				if rerr := isolated.Recover(); rerr != nil {
+					return rerr
+				}
+				ws.Recovered.Add(1)
+				continue
+			}
+			return err
+		}
+		final, err := owned.Into()
+		if err != nil {
+			return err
+		}
+		ws.Batches.Add(1)
+		ws.Packets.Add(uint64(len(final.Pkts)))
+		ws.Drops.Add(uint64(len(final.Dropped)))
+		r.Port.TxBurstQueue(w, final.Pkts)
+		r.Port.FreeQueue(w, final.Dropped)
+	}
+	return nil
+}

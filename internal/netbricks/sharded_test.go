@@ -1,0 +1,315 @@
+package netbricks
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/dpdk"
+	"repro/internal/leakcheck"
+	"repro/internal/packet"
+	"repro/internal/sfi"
+)
+
+// newShardedPort builds a multi-queue port in RSS-partitioned mode with
+// plenty of flows so every queue gets traffic.
+func newShardedPort(t *testing.T, queues, poolSize int) *dpdk.Port {
+	t.Helper()
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: poolSize,
+		RxQueues: queues,
+		QueueGen: dpdk.NewRSSPartition(dpdk.DefaultSpec(), 1024, queues),
+	})
+	leakcheck.Pool(t, "sharded port", port.PoolAvailable)
+	return port
+}
+
+func TestShardedRunnerDirect(t *testing.T) {
+	const workers = 4
+	port := newShardedPort(t, workers, 1024)
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 16,
+		NewDirect: func(int) *Pipeline { return NewPipeline(Parse{}, NullFilter{}) },
+	}
+	stats, err := r.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != workers*20 {
+		t.Fatalf("batches = %d, want %d", stats.Batches, workers*20)
+	}
+	if stats.Packets != uint64(workers*20*16) {
+		t.Fatalf("packets = %d, want %d", stats.Packets, workers*20*16)
+	}
+	// Per-worker stats must sum to the aggregate.
+	var sum uint64
+	for _, ws := range r.WorkerSnapshots() {
+		sum += ws.Packets
+	}
+	if sum != stats.Packets {
+		t.Fatalf("per-worker sum %d != aggregate %d", sum, stats.Packets)
+	}
+}
+
+func TestShardedRunnerIsolated(t *testing.T) {
+	const workers = 2
+	port := newShardedPort(t, workers, 512)
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 8,
+		NewIsolated: func(int) (*IsolatedPipeline, error) {
+			return NewIsolatedPipeline(sfi.NewManager(), []Operator{Parse{}, NullFilter{}, NullFilter{}}, nil)
+		},
+	}
+	stats, err := r.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != workers*10 || stats.Packets != uint64(workers*10*8) {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestShardedRunnerFlowAffinity is the steering guarantee end to end:
+// across every worker, no flow is ever seen by two workers, and each
+// packet arrives on the queue its RSS hash selects.
+func TestShardedRunnerFlowAffinity(t *testing.T) {
+	const workers = 4
+	port := newShardedPort(t, workers, 1024)
+	var mu sync.Mutex
+	flowWorker := map[packet.FiveTuple]int{}
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 16,
+		NewDirect: func(w int) *Pipeline {
+			spy := Transform{Label: "spy", Fn: func(p *packet.Packet) error {
+				if got := port.RSSQueue(p.Tuple()); got != w {
+					return errors.New("packet steered to wrong queue")
+				}
+				if p.RxQueue != w {
+					return errors.New("RxQueue stamp disagrees with worker")
+				}
+				if p.RxHash != p.RSSHash() {
+					return errors.New("deposited RSS hash disagrees with computed hash")
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if prev, ok := flowWorker[p.Tuple()]; ok && prev != w {
+					return errors.New("flow migrated between workers")
+				}
+				flowWorker[p.Tuple()] = w
+				return nil
+			}}
+			return NewPipeline(Parse{}, spy)
+		},
+	}
+	if _, err := r.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if len(flowWorker) < workers {
+		t.Fatalf("only %d flows observed", len(flowWorker))
+	}
+}
+
+// TestShardedRunnerSteeredMode drives the software-RSS distributor: one
+// shared zipf generator fanned out to per-queue rings. Flow affinity
+// must hold there too, and dropped-at-ring packets must not leak.
+func TestShardedRunnerSteeredMode(t *testing.T) {
+	const workers = 4
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: 2048,
+		RxQueues: workers,
+		Gen:      dpdk.NewZipfFlows(dpdk.DefaultSpec(), 512, 1.2, 7),
+	})
+	leakcheck.Pool(t, "steered port", port.PoolAvailable)
+	var mu sync.Mutex
+	flowWorker := map[packet.FiveTuple]int{}
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 16,
+		NewDirect: func(w int) *Pipeline {
+			spy := Transform{Label: "spy", Fn: func(p *packet.Packet) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if prev, ok := flowWorker[p.Tuple()]; ok && prev != w {
+					return errors.New("flow migrated between workers")
+				}
+				flowWorker[p.Tuple()] = w
+				return nil
+			}}
+			return NewPipeline(Parse{}, spy)
+		},
+	}
+	stats, err := r.Run(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets == 0 {
+		t.Fatal("no packets processed")
+	}
+	if len(flowWorker) < 2 {
+		t.Fatalf("flows all landed on one worker: %d flows", len(flowWorker))
+	}
+}
+
+// TestShardedRunnerRace is the concurrency stress for the race tier: the
+// maximum worker count over a small shared pool (so refill/spill, ring,
+// and distributor paths all interleave), isolated pipelines whose
+// domains live in per-worker managers, and a shared-state spy guarded
+// only by linear ownership of the batch. Run with -race; an ownership
+// violation or unsynchronized access fails loudly.
+func TestShardedRunnerRace(t *testing.T) {
+	const workers = 8
+	port := newShardedPort(t, workers, 1024)
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 8,
+		NewIsolated: func(int) (*IsolatedPipeline, error) {
+			// Mutating every packet in every stage would race instantly if
+			// two workers ever shared a batch; linear moves make it safe.
+			bump := Transform{Label: "bump", Fn: func(p *packet.Packet) error {
+				p.UserTag++
+				return nil
+			}}
+			return NewIsolatedPipeline(sfi.NewManager(), []Operator{Parse{}, bump, bump, bump}, nil)
+		},
+	}
+	for round := 0; round < 3; round++ {
+		stats, err := r.Run(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Packets == 0 {
+			t.Fatal("no packets processed")
+		}
+	}
+}
+
+// TestShardedRunnerFaultRecovery injects a panic in one worker's private
+// pipeline; that worker recovers and continues while the others never
+// notice. Lost-batch buffers must still balance.
+func TestShardedRunnerFaultRecovery(t *testing.T) {
+	const workers = 4
+	port := newShardedPort(t, workers, 1024)
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 8, AutoRecover: true,
+		NewIsolated: func(w int) (*IsolatedPipeline, error) {
+			inj := &FaultInjector{}
+			if w == 1 {
+				inj.PanicOn = 5
+			}
+			return NewIsolatedPipeline(sfi.NewManager(),
+				[]Operator{Parse{}, inj},
+				[]func() Operator{nil, func() Operator { return &FaultInjector{} }})
+		},
+	}
+	stats, err := r.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Faults != 1 || stats.Recovered != 1 {
+		t.Fatalf("stats = %+v, want exactly one fault and recovery", stats)
+	}
+	per := r.WorkerSnapshots()
+	if per[1].Faults != 1 {
+		t.Fatalf("fault not attributed to worker 1: %+v", per)
+	}
+	for w, ws := range per {
+		if w != 1 && ws.Faults != 0 {
+			t.Fatalf("worker %d saw a fault: %+v", w, ws)
+		}
+	}
+}
+
+// TestShardedRunnerFaultWithoutRecoveryStopsWorker: without AutoRecover
+// the faulting worker stops with an error; others run to completion.
+func TestShardedRunnerFaultWithoutRecoveryStopsWorker(t *testing.T) {
+	const workers = 2
+	port := newShardedPort(t, workers, 512)
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 8,
+		NewIsolated: func(w int) (*IsolatedPipeline, error) {
+			inj := &FaultInjector{}
+			if w == 0 {
+				inj.PanicOn = 3
+			}
+			return NewIsolatedPipeline(sfi.NewManager(), []Operator{inj}, nil)
+		},
+	}
+	stats, err := r.Run(10)
+	if !errors.Is(err, ErrStageFailed) {
+		t.Fatalf("err = %v, want ErrStageFailed", err)
+	}
+	per := r.WorkerSnapshots()
+	if per[0].Batches != 2 {
+		t.Fatalf("worker 0 batches = %d, want 2 before the fault", per[0].Batches)
+	}
+	if per[1].Batches != 10 {
+		t.Fatalf("worker 1 batches = %d, want 10", per[1].Batches)
+	}
+	_ = stats
+}
+
+// TestShardedRunnerEmptyPartition: with more queues than flows some
+// queues get nothing; their workers must terminate cleanly rather than
+// spin.
+func TestShardedRunnerEmptyPartition(t *testing.T) {
+	const workers = 4
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: 256,
+		RxQueues: workers,
+		QueueGen: dpdk.NewRSSPartition(dpdk.DefaultSpec(), 2, workers),
+	})
+	leakcheck.Pool(t, "sparse port", port.PoolAvailable)
+	r := &ShardedRunner{
+		Port: port, Workers: workers, BatchSize: 4,
+		NewDirect: func(int) *Pipeline { return NewPipeline(NullFilter{}) },
+	}
+	stats, err := r.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets == 0 {
+		t.Fatal("the non-empty partitions produced nothing")
+	}
+}
+
+func TestShardedRunnerValidation(t *testing.T) {
+	port := dpdk.NewPort(dpdk.Config{PoolSize: 64, RxQueues: 2})
+	direct := func(int) *Pipeline { return NewPipeline(NullFilter{}) }
+	cases := []struct {
+		name string
+		r    ShardedRunner
+	}{
+		{"zero workers", ShardedRunner{Port: port, BatchSize: 4, NewDirect: direct}},
+		{"zero batch", ShardedRunner{Port: port, Workers: 2, NewDirect: direct}},
+		{"no pipeline", ShardedRunner{Port: port, Workers: 2, BatchSize: 4}},
+		{"both pipelines", ShardedRunner{Port: port, Workers: 2, BatchSize: 4,
+			NewDirect: direct,
+			NewIsolated: func(int) (*IsolatedPipeline, error) {
+				return NewIsolatedPipeline(sfi.NewManager(), []Operator{NullFilter{}}, nil)
+			}}},
+		{"nil port", ShardedRunner{Workers: 2, BatchSize: 4, NewDirect: direct}},
+		{"too few queues", ShardedRunner{Port: port, Workers: 4, BatchSize: 4, NewDirect: direct}},
+	}
+	for _, c := range cases {
+		if _, err := c.r.Run(1); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestShardedRunnerIsolatedFactoryError: a factory failure on one worker
+// surfaces as the run error.
+func TestShardedRunnerIsolatedFactoryError(t *testing.T) {
+	port := newShardedPort(t, 2, 256)
+	boom := errors.New("factory failed")
+	r := &ShardedRunner{
+		Port: port, Workers: 2, BatchSize: 4,
+		NewIsolated: func(w int) (*IsolatedPipeline, error) {
+			if w == 1 {
+				return nil, boom
+			}
+			return NewIsolatedPipeline(sfi.NewManager(), []Operator{NullFilter{}}, nil)
+		},
+	}
+	if _, err := r.Run(2); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want factory error", err)
+	}
+}

@@ -1,6 +1,9 @@
 package packet
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzParse asserts the packet parser is total over arbitrary bytes: any
 // input is either parsed or rejected, with no panics and no reads out of
@@ -35,5 +38,81 @@ func FuzzParse(f *testing.F) {
 		// Mutators must stay in bounds.
 		p.SetDstIP(Addr(9, 9, 9, 9))
 		p.TTLDecrement()
+	})
+}
+
+// FuzzParsePacket is the datapath parser fuzz target for the race-
+// hardened tier: beyond totality (no panics, no out-of-bounds reads) it
+// checks metamorphic properties a correct parser must satisfy on every
+// input — determinism, bounds on the views it exposes, and checksum
+// coherence after header rewrites. The seed corpus under
+// testdata/fuzz/FuzzParsePacket covers truncated headers at every layer
+// and adversarial length fields (IHL, total length, TCP data offset).
+func FuzzParsePacket(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := &Packet{Data: data}
+		err := p.Parse()
+
+		// Determinism: parsing an identical buffer yields an identical
+		// verdict and identical views.
+		q := &Packet{Data: append([]byte(nil), data...)}
+		errQ := q.Parse()
+		if (err == nil) != (errQ == nil) {
+			t.Fatalf("parse not deterministic: %v vs %v", err, errQ)
+		}
+		if err != nil {
+			if p.Parsed() {
+				t.Fatal("Parsed true after error")
+			}
+			return
+		}
+		if p.Tuple() != q.Tuple() {
+			t.Fatalf("tuples differ on identical input: %v vs %v", p.Tuple(), q.Tuple())
+		}
+
+		// Exposed views stay inside the frame.
+		if pay := p.Payload(); len(pay) > len(data) {
+			t.Fatalf("payload %d bytes from a %d-byte frame", len(pay), len(data))
+		}
+		if p.RSSHash() != q.RSSHash() {
+			t.Fatal("RSS hash not deterministic")
+		}
+
+		// Rewriting the destination recomputes a valid checksum and
+		// keeps the packet parsable with the new address in the tuple.
+		p.SetDstIP(Addr(203, 0, 113, 9))
+		if !p.VerifyIPChecksum() {
+			t.Fatal("checksum invalid after SetDstIP")
+		}
+		r := &Packet{Data: append([]byte(nil), p.Data...)}
+		if err := r.Parse(); err != nil {
+			t.Fatalf("reparse after SetDstIP: %v", err)
+		}
+		if r.Tuple().DstIP != Addr(203, 0, 113, 9) {
+			t.Fatalf("DstIP = %v after rewrite", r.Tuple().DstIP)
+		}
+
+		// TTL decrement preserves checksum validity and every other
+		// header byte.
+		before := append([]byte(nil), p.Data...)
+		p.TTLDecrement()
+		if !p.VerifyIPChecksum() {
+			t.Fatal("checksum invalid after TTLDecrement")
+		}
+		if len(before) != len(p.Data) {
+			t.Fatal("TTLDecrement changed frame length")
+		}
+		diff := 0
+		for i := range before {
+			if before[i] != p.Data[i] {
+				diff++
+			}
+		}
+		if diff > 3 { // TTL byte plus up to two checksum bytes
+			t.Fatalf("TTLDecrement changed %d bytes", diff)
+		}
+		if !bytes.Equal(p.Data[:EthHeaderLen], before[:EthHeaderLen]) {
+			t.Fatal("TTLDecrement touched the Ethernet header")
+		}
 	})
 }

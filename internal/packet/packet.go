@@ -118,6 +118,8 @@ type Packet struct {
 	tuple   FiveTuple
 	parsed  bool
 	RxPort  int    // ingress port index, set by the driver
+	RxQueue int    // ingress RX queue index, set by the driver
+	RxHash  uint32 // RSS hash deposited by the (simulated) NIC
 	UserTag uint64 // scratch word for NF state (e.g. chosen backend)
 }
 
@@ -135,6 +137,8 @@ func (p *Packet) Reset() {
 	p.parsed = false
 	p.UserTag = 0
 	p.RxPort = 0
+	p.RxQueue = 0
+	p.RxHash = 0
 }
 
 // Parse validates Ethernet/IPv4/{TCP,UDP} framing and caches offsets and
