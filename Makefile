@@ -1,10 +1,14 @@
 GO ?= go
 
 # Packages whose concurrency is load-bearing: the sharded runtime, the
-# pool caches under it, and the linear-ownership cells that make it safe.
-RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear
+# supervised protection-domain runtime and its chaos harness, the pool
+# caches under them, and the linear-ownership cells that make it safe.
+RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/...
 
-.PHONY: check build test race race-all vet fuzz bench
+# Per-benchmark time for the JSON bench run; raise for stabler numbers.
+BENCHTIME ?= 0.5s
+
+.PHONY: check build test race race-all vet fuzz bench bench-all
 
 ## check: the PR gate — vet, build, full tests, race tier.
 check: vet build test race
@@ -26,10 +30,19 @@ race:
 race-all:
 	$(GO) test -race ./...
 
-## fuzz: short fuzz smoke on the packet parser (seed corpus + 10s).
+## fuzz: short fuzz smoke on the packet parser and the mailbox
+## ownership boundary (seed corpus + 10s each).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParsePacket -fuzztime=10s ./internal/packet
+	$(GO) test -run='^$$' -fuzz=FuzzMailboxOwnership -fuzztime=10s ./internal/domain
 
-## bench: the full testing.B harness.
+## bench: the pipeline throughput benches (direct/isolated/sharded/
+## supervised, steady and faulting), recorded machine-readably in
+## BENCH_pipeline.json so the perf trajectory is diffable across PRs.
 bench:
+	$(GO) test -run='^$$' -bench='Figure2|Sharded|Supervised|Recovery' -benchmem -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -o BENCH_pipeline.json
+
+## bench-all: the full testing.B harness (human-readable only).
+bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem .

@@ -12,8 +12,11 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/domain"
+	"repro/internal/domain/faultinject"
 	"repro/internal/dpdk"
 	"repro/internal/experiments"
 	"repro/internal/firewall"
@@ -190,6 +193,92 @@ func BenchmarkShardedIsolated(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			benchSharded(b, w, true)
 		})
+	}
+}
+
+// --- Supervised runtime: steady-state vs. faulting throughput -----------
+
+// crashOp injects seeded probabilistic panics into the hot path, driving
+// the supervised runtime's full fault loop: panic → teardown → backoff →
+// recovery → rref re-bind. A nil injector makes it a null stage.
+type crashOp struct{ inj *faultinject.Injector }
+
+func (crashOp) Name() string { return "crash" }
+
+func (c crashOp) ProcessBatch(*netbricks.Batch) error {
+	if c.inj != nil {
+		c.inj.Point("bench")
+	}
+	return nil
+}
+
+// benchSupervised measures aggregate throughput with every worker running
+// as a supervised protection domain, at a given per-batch crash
+// probability. The deltas against crashProb=0 (and against
+// BenchmarkShardedIsolated, the same pipeline without supervision) price
+// the supervision machinery and the fault path respectively.
+func benchSupervised(b *testing.B, crashProb float64) {
+	b.Helper()
+	const workers = 4
+	const batchSize = 32
+	const batchesPerWorker = 64
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: workers * 512,
+		RxQueues: workers,
+		QueueGen: dpdk.NewRSSPartition(dpdk.DefaultSpec(), 4096, workers),
+	})
+	var inj *faultinject.Injector
+	if crashProb > 0 {
+		inj = faultinject.New(1)
+		inj.PanicProb = crashProb
+	}
+	r := &netbricks.ShardedRunner{
+		Port: port, Workers: workers, BatchSize: batchSize,
+		Supervise: true,
+		Policy: domain.Policy{
+			Backoff:     20 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			MaxRestarts: -1,
+		},
+		NewIsolated: func(int) (*netbricks.IsolatedPipeline, error) {
+			return netbricks.NewIsolatedPipeline(sfi.NewManager(),
+				[]netbricks.Operator{netbricks.Parse{}, crashOp{inj: inj}, netbricks.NullFilter{}},
+				[]func() netbricks.Operator{nil, func() netbricks.Operator { return crashOp{inj: inj} }, nil})
+		},
+	}
+	var total uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := r.Run(batchesPerWorker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Packets == 0 {
+			b.Fatal("no packets processed")
+		}
+		total += stats.Packets
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "pkts/s")
+	if sn, ok := r.SupervisorSnapshot(); crashProb > 0 && (!ok || sn.Restarts == 0) {
+		b.Fatal("faulting bench drove no restarts")
+	}
+}
+
+// BenchmarkSupervisedPipeline is the steady/faulting sweep the perf
+// trajectory tracks in BENCH_pipeline.json: supervision overhead at zero
+// faults, then throughput under 1% and 5% injected crash rates.
+func BenchmarkSupervisedPipeline(b *testing.B) {
+	cases := []struct {
+		name string
+		prob float64
+	}{
+		{"steady", 0},
+		{"crash=1pct", 0.01},
+		{"crash=5pct", 0.05},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { benchSupervised(b, c.prob) })
 	}
 }
 

@@ -10,6 +10,9 @@
 //	nf-pipeline -inject 500              # panic the firewall on batch 500
 //	nf-pipeline -direct                  # baseline without isolation
 //	nf-pipeline -workers 4               # sharded: 4 workers, RSS steering
+//	nf-pipeline -workers 4 -supervise    # workers as supervised domains
+//	nf-pipeline -workers 4 -supervise -crashrate 0.05
+//	                                     # chaos: 5% of batches panic
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"log"
 
 	"repro/internal/cycles"
+	"repro/internal/domain/faultinject"
 	"repro/internal/dpdk"
 	"repro/internal/firewall"
 	"repro/internal/maglev"
@@ -27,11 +31,13 @@ import (
 )
 
 // faultyFirewall wraps the firewall operator with §3-style fault
-// injection.
+// injection: a deterministic one-shot panic (-inject) and/or a seeded
+// probabilistic injector (-crashrate).
 type faultyFirewall struct {
 	firewall.Operator
 	panicOn int
 	seen    int
+	inj     *faultinject.Injector
 }
 
 func (f *faultyFirewall) Name() string { return "firewall" }
@@ -40,6 +46,9 @@ func (f *faultyFirewall) ProcessBatch(b *netbricks.Batch) error {
 	f.seen++
 	if f.panicOn != 0 && f.seen == f.panicOn {
 		panic(fmt.Sprintf("injected firewall fault on batch %d", f.seen))
+	}
+	if f.inj != nil {
+		f.inj.Point("firewall")
 	}
 	return f.Operator.ProcessBatch(b)
 }
@@ -52,12 +61,28 @@ func main() {
 		size    = flag.Int("size", 32, "packets per batch")
 		inject  = flag.Int("inject", 0, "panic the firewall stage on this batch (0 = never)")
 		direct  = flag.Bool("direct", false, "run without isolation (baseline)")
-		flows   = flag.Int("flows", 4096, "distinct synthetic flows")
-		workers = flag.Int("workers", 1, "parallel pipeline workers (RSS-sharded when > 1)")
+		flows     = flag.Int("flows", 4096, "distinct synthetic flows")
+		workers   = flag.Int("workers", 1, "parallel pipeline workers (RSS-sharded when > 1)")
+		supervise = flag.Bool("supervise", false, "run sharded workers as supervised protection domains")
+		crashrate = flag.Float64("crashrate", 0, "probability [0,1) that the firewall panics on a batch")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		log.Fatal("-workers must be >= 1")
+	}
+	if *supervise && *workers < 2 {
+		log.Fatal("-supervise requires -workers >= 2 (it is a sharded-runner mode)")
+	}
+	if *crashrate < 0 || *crashrate >= 1 {
+		log.Fatal("-crashrate must be in [0,1)")
+	}
+	if *crashrate > 0 && *direct {
+		log.Fatal("-crashrate needs an isolated pipeline to recover; drop -direct")
+	}
+	var inj *faultinject.Injector
+	if *crashrate > 0 {
+		inj = faultinject.New(42)
+		inj.PanicProb = *crashrate
 	}
 
 	// Substrate: traffic source, firewall rules, Maglev backends. With
@@ -109,15 +134,17 @@ func main() {
 		if w == 0 {
 			panicOn = *inject
 		}
-		fw := &faultyFirewall{Operator: firewall.Operator{DB: db}, panicOn: panicOn}
+		fw := &faultyFirewall{Operator: firewall.Operator{DB: db}, panicOn: panicOn, inj: inj}
 		return []netbricks.Operator{netbricks.Parse{}, fw, maglev.Operator{LB: balancers[w]}}
 	}
 	recoveryFor := func(w int) []func() netbricks.Operator {
 		return []func() netbricks.Operator{
 			nil,
 			func() netbricks.Operator {
-				// Recovery reinitializes the firewall from clean state.
-				return &faultyFirewall{Operator: firewall.Operator{DB: db}}
+				// Recovery reinitializes the firewall from clean state; the
+				// injector stays attached, so a chaos run keeps crashing at
+				// the configured rate after every recovery.
+				return &faultyFirewall{Operator: firewall.Operator{DB: db}, inj: inj}
 			},
 			nil,
 		}
@@ -140,8 +167,9 @@ func main() {
 		}
 		stats, err = runner.Run(sfi.NewContext(), *batches)
 	} else {
-		runner := netbricks.ShardedRunner{
+		runner := &netbricks.ShardedRunner{
 			Port: port, Workers: *workers, BatchSize: *size,
+			Supervise: *supervise,
 		}
 		if *direct {
 			runner.NewDirect = func(w int) *netbricks.Pipeline {
@@ -154,6 +182,10 @@ func main() {
 			runner.AutoRecover = true
 		}
 		stats, err = runner.Run(*batches)
+		if sn, ok := runner.SupervisorSnapshot(); ok {
+			defer fmt.Printf("supervisor: %d restarts (%d errors, %d crashes, %d hangs), degraded=%v\n",
+				sn.Restarts, sn.Errors, sn.Crashes, sn.Hangs, sn.Degraded)
+		}
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -163,6 +195,9 @@ func main() {
 	mode := "isolated (one protection domain per stage)"
 	if *direct {
 		mode = "direct (no isolation)"
+	}
+	if *supervise {
+		mode += ", supervised workers"
 	}
 	fmt.Printf("pipeline:   parse -> firewall -> maglev, %s\n", mode)
 	if *workers > 1 {

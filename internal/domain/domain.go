@@ -1,0 +1,375 @@
+// Package domain provides a supervised protection-domain runtime on top
+// of the sfi and linear layers: long-lived goroutines ("domains"), each
+// owning an sfi protection domain and a handler, exchanging work through
+// zero-copy mailboxes of linearly owned payloads.
+//
+// The paper's §3 recovery story — unwind to the domain entry point, clear
+// the reference table, run a user recovery function — is exercised by the
+// sfi package inside a single synchronous call. This package keeps a
+// faulted domain alive *as a service* under sustained traffic: a
+// Supervisor detects faults (handler panics and errors, caught at the
+// domain entry point) and hangs (per-domain heartbeats), tears the
+// domain's sfi reference table down (sfi.Domain.Reset), and restarts the
+// domain under a configurable policy — one-for-one or one-for-all,
+// exponential backoff with jitter, max-restarts-then-degrade to a user
+// fallback handler. Every transition is counted in per-domain atomic
+// stats exposed via Snapshot, the same contract netbricks.ShardedRunner
+// uses for its workers.
+//
+// Ownership is the safety argument throughout, exactly as in the
+// synchronous case: a payload is owned by exactly one side of a mailbox
+// at any instant (a send is a move), and a payload abandoned by a
+// crashing handler is reclaimed by the domain runtime at the entry point,
+// so no buffer leaks across a fault.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/linear"
+	"repro/internal/sfi"
+)
+
+// ErrCrashed wraps a handler panic caught at the domain entry point.
+var ErrCrashed = errors.New("domain: handler crashed")
+
+// errSuperseded is the internal signal that a serving generation has been
+// retired while idle; the goroutine exits without touching domain state.
+var errSuperseded = errors.New("domain: serving generation superseded")
+
+// State is a domain's lifecycle state.
+type State int32
+
+// Domain lifecycle states.
+const (
+	// StateLive: the domain's goroutine is serving its mailbox.
+	StateLive State = iota
+	// StateBackoff: the domain faulted and is waiting out its restart
+	// backoff; the mailbox keeps absorbing (and, when full, shedding)
+	// traffic.
+	StateBackoff
+	// StateStopped: the domain has exited for good — inbox closed and
+	// drained, or restarts exhausted with no fallback handler.
+	StateStopped
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateLive:
+		return "live"
+	case StateBackoff:
+		return "backoff"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Ctx is the per-invocation context handed to handlers: the worker's
+// sfi.Context (the explicit stand-in for thread-local current-domain
+// storage) and the domain's sfi protection domain, into which handlers
+// may export state via sfi.Export/ExportAt.
+type Ctx struct {
+	SFI *sfi.Context
+	PD  *sfi.Domain
+}
+
+// Handler processes one payload. The payload arrives owned: the handler
+// may move it onward (e.g. into another domain's mailbox), consume it
+// with Into, or leave it untouched — a payload still live when a fault
+// unwinds to the entry point is reclaimed by the runtime through the
+// Release hook. A returned error is a fault: the supervisor tears the
+// domain down and applies the restart policy, exactly as for a panic.
+// Handlers that can tolerate an error must absorb it themselves.
+type Handler[T any] func(c *Ctx, msg linear.Owned[T]) error
+
+// Config parameterizes a supervised domain.
+type Config[T any] struct {
+	// Name labels the domain in snapshots and errors.
+	Name string
+	// Mailbox is the inbox capacity (default 8).
+	Mailbox int
+	// Handler serves the inbox. Required.
+	Handler Handler[T]
+	// Fallback, when non-nil, replaces Handler after the restart budget
+	// is exhausted (degraded mode) instead of stopping the domain.
+	Fallback Handler[T]
+	// Release reclaims resources inside a payload the runtime destroys:
+	// mailbox tail drops, backlog drained at stop, and payloads
+	// abandoned by a crashing handler.
+	Release func(T)
+	// Recover reinitializes handler state from clean after a fault,
+	// before the restarted domain serves again — the §3 user recovery
+	// function. The domain's sfi reference table has already been
+	// cleared and re-opened (Manager.Recover) when it runs. A Recover
+	// error counts as another fault.
+	Recover func() error
+}
+
+// stats fields are atomic: written by the domain goroutine and the
+// supervisor, read by snapshots while traffic flows.
+type stats struct {
+	processed    atomic.Uint64
+	errors       atomic.Uint64
+	crashes      atomic.Uint64
+	hangs        atomic.Uint64
+	restarts     atomic.Uint64
+	reclaimed    atomic.Uint64
+	backoffNanos atomic.Int64
+	degraded     atomic.Bool
+}
+
+// Snapshot is a plain-value copy of one domain's counters, taken
+// point-in-time from monotonically increasing atomics (the same snapshot
+// semantics as netbricks.WorkerStats and sfi.Stats): safe to call during
+// a live run, never blocks the hot path.
+type Snapshot struct {
+	Name  string
+	State State
+	// Processed counts payloads the handler completed without fault.
+	Processed uint64
+	// Errors and Crashes partition faults: handler error returns vs
+	// panics caught at the entry point.
+	Errors  uint64
+	Crashes uint64
+	// Hangs counts heartbeat-stall detections (the stuck goroutine is
+	// abandoned and superseded).
+	Hangs uint64
+	// Restarts counts completed restart cycles (recovery ran, a fresh
+	// serving goroutine started).
+	Restarts uint64
+	// Reclaimed counts payloads the entry point recovered from a
+	// faulting handler and released.
+	Reclaimed uint64
+	// TimeInBackoff accumulates scheduled backoff delay.
+	TimeInBackoff time.Duration
+	// Degraded reports the domain is serving through its fallback
+	// handler.
+	Degraded bool
+	// Mailbox counters, plus instantaneous depth.
+	MailboxDepth int
+	MailboxSends uint64
+	MailboxRecvs uint64
+	MailboxDrops uint64
+}
+
+// handlerCell wraps a handler so the active one can be swapped atomically
+// (degrade happens while an abandoned goroutine may still be running).
+type handlerCell[T any] struct{ fn Handler[T] }
+
+// Domain is a long-lived supervised goroutine serving a mailbox. Create
+// one with Spawn; the zero Domain is invalid.
+type Domain[T any] struct {
+	name    string
+	sup     *Supervisor
+	inbox   *Mailbox[T]
+	handler atomic.Pointer[handlerCell[T]]
+	release func(T)
+	recover func() error
+	fallbck Handler[T]
+
+	pd *sfi.Domain
+
+	// epoch identifies the serving goroutine generation. The supervisor
+	// bumps it to supersede a goroutine it has given up on (hangs, group
+	// restarts): the stale goroutine notices at its next checkpoint and
+	// exits silently. quit is the current generation's wakeup: supersede
+	// closes it so a goroutine parked on an empty inbox exits instead of
+	// competing with its replacement for the next payload.
+	epoch atomic.Uint64
+	gmu   sync.Mutex
+	quit  chan struct{}
+	// busy+beat implement the heartbeat: busy is set for the duration of
+	// a handler invocation, beat stamps its start. A domain blocked on an
+	// empty inbox is idle, not hung.
+	busy  atomic.Bool
+	beat  atomic.Int64 // unix nanos
+	state atomic.Int32
+	// faultStreak counts consecutive faults (reset by a completed
+	// invocation); the restart policy's budget applies to the streak.
+	faultStreak atomic.Uint64
+
+	st   stats
+	done chan struct{} // closed when the domain stops for good
+}
+
+// Name returns the domain's label.
+func (d *Domain[T]) Name() string { return d.name }
+
+// Inbox returns the domain's mailbox; producers send work here.
+func (d *Domain[T]) Inbox() *Mailbox[T] { return d.inbox }
+
+// PD returns the domain's sfi protection domain.
+func (d *Domain[T]) PD() *sfi.Domain { return d.pd }
+
+// State returns the current lifecycle state.
+func (d *Domain[T]) State() State { return State(d.state.Load()) }
+
+// Done returns a channel closed when the domain has stopped for good:
+// its inbox was closed and fully drained, or its restart budget ran out
+// with no fallback.
+func (d *Domain[T]) Done() <-chan struct{} { return d.done }
+
+// Snapshot returns a point-in-time copy of the domain's counters.
+func (d *Domain[T]) Snapshot() Snapshot {
+	return Snapshot{
+		Name:          d.name,
+		State:         d.State(),
+		Processed:     d.st.processed.Load(),
+		Errors:        d.st.errors.Load(),
+		Crashes:       d.st.crashes.Load(),
+		Hangs:         d.st.hangs.Load(),
+		Restarts:      d.st.restarts.Load(),
+		Reclaimed:     d.st.reclaimed.Load(),
+		TimeInBackoff: time.Duration(d.st.backoffNanos.Load()),
+		Degraded:      d.st.degraded.Load(),
+		MailboxDepth:  d.inbox.Depth(),
+		MailboxSends:  d.inbox.Stats.Sends.Load(),
+		MailboxRecvs:  d.inbox.Stats.Recvs.Load(),
+		MailboxDrops:  d.inbox.Stats.Drops.Load(),
+	}
+}
+
+// serve starts a serving goroutine for the given epoch, installing its
+// quit channel first (unless a concurrent supersession already retired
+// the epoch, in which case the goroutine exits at its first checkpoint).
+func (d *Domain[T]) serve(epoch uint64) {
+	q := make(chan struct{})
+	d.gmu.Lock()
+	if d.epoch.Load() == epoch {
+		d.quit = q
+	} else {
+		close(q) // epoch already retired: run exits immediately
+	}
+	d.gmu.Unlock()
+	go d.run(epoch, q)
+}
+
+// run is one serving-goroutine generation. It exits when the inbox is
+// closed and drained (domain stops), when a fault occurs (the supervisor
+// restarts a fresh generation), or when it discovers it was superseded.
+func (d *Domain[T]) run(epoch uint64, quit <-chan struct{}) {
+	ctx := &Ctx{SFI: sfi.NewContext(), PD: d.pd}
+	for {
+		if d.epoch.Load() != epoch {
+			return // superseded while idle
+		}
+		msg, err := d.inbox.recv(quit)
+		if err != nil {
+			if err != errSuperseded && d.epoch.Load() == epoch {
+				d.stop()
+			}
+			return
+		}
+		// A superseded goroutine can still win the race for one queued
+		// payload (quit and a pending message are both ready in recv's
+		// select). It completes that one invocation — the payload is
+		// accounted for exactly once either way — and exits below.
+		fault := d.invoke(ctx, msg, epoch)
+		if fault != nil {
+			if d.epoch.Load() == epoch {
+				d.sup.report(d, epoch, fault)
+			}
+			return
+		}
+		if d.epoch.Load() != epoch {
+			return // late success of an abandoned generation: counted, then exit
+		}
+		d.faultStreak.Store(0)
+	}
+}
+
+// invoke is the domain entry point: heartbeat, guard, fault accounting,
+// and reclamation of payloads abandoned by a fault. It returns nil when
+// the handler completed, or the fault. The sfi teardown (reference-table
+// clear) is NOT done here: only the supervisor's monitor goroutine resets
+// the protection domain, so a stale generation faulting late cannot
+// revoke the table a recovered replacement is already serving from.
+func (d *Domain[T]) invoke(ctx *Ctx, msg linear.Owned[T], epoch uint64) error {
+	d.beat.Store(time.Now().UnixNano())
+	d.busy.Store(true)
+	err := d.guard(ctx, msg)
+	d.busy.Store(false)
+	if err == nil {
+		d.st.processed.Add(1)
+		return nil
+	}
+	// Fault path: the stack has unwound to the entry point. Reclaim the
+	// payload if the handler left it live so no buffer leaks across the
+	// fault, regardless of which generation this is.
+	if msg.Valid() {
+		if v, ierr := msg.Into(); ierr == nil {
+			d.st.reclaimed.Add(1)
+			if d.release != nil {
+				d.release(v)
+			}
+		}
+	}
+	return err
+}
+
+// guard converts handler panics into ErrCrashed, the asynchronous
+// equivalent of sfi's remote-invocation boundary.
+func (d *Domain[T]) guard(ctx *Ctx, msg linear.Owned[T]) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			d.st.crashes.Add(1)
+			err = fmt.Errorf("domain %s: panic: %v: %w", d.name, p, ErrCrashed)
+		}
+	}()
+	if herr := d.handler.Load().fn(ctx, msg); herr != nil {
+		d.st.errors.Add(1)
+		return fmt.Errorf("domain %s: %w", d.name, herr)
+	}
+	return nil
+}
+
+// supersede retires the current serving generation and returns the new
+// epoch. The retired generation's quit channel is closed so a goroutine
+// parked on an empty inbox wakes and exits; one already inside a handler
+// notices the epoch change at its next checkpoint instead.
+func (d *Domain[T]) supersede() uint64 {
+	d.gmu.Lock()
+	e := d.epoch.Add(1)
+	if d.quit != nil {
+		close(d.quit)
+		d.quit = nil
+	}
+	d.gmu.Unlock()
+	return e
+}
+
+// stalled reports whether the domain has been inside one handler
+// invocation for longer than limit.
+func (d *Domain[T]) stalled(now time.Time, limit time.Duration) bool {
+	return d.busy.Load() && now.UnixNano()-d.beat.Load() > int64(limit)
+}
+
+// degrade swaps in the fallback handler, reporting false when none is
+// configured or the domain is already degraded (a fallback that also
+// exhausts its budget stops the domain rather than looping).
+func (d *Domain[T]) degrade() bool {
+	if d.fallbck == nil || d.st.degraded.Load() {
+		return false
+	}
+	d.handler.Store(&handlerCell[T]{fn: d.fallbck})
+	d.st.degraded.Store(true)
+	return true
+}
+
+// stop retires the domain permanently: supersede any serving goroutine,
+// destroy the backlog, close Done. Safe to call more than once.
+func (d *Domain[T]) stop() {
+	d.supersede()
+	if d.state.Swap(int32(StateStopped)) == int32(StateStopped) {
+		return
+	}
+	d.inbox.Drain()
+	close(d.done)
+}

@@ -1,0 +1,103 @@
+// Package faultinject is the chaos harness for the supervised
+// protection-domain runtime: deterministic, probabilistic injection of
+// the three fault classes the supervisor must absorb — handler panics,
+// handler stalls (hangs), and mailbox-full pressure.
+//
+// An Injector is seeded, so a chaos run is reproducible: the same seed
+// injects the same fault sequence. All methods are safe for concurrent
+// use; per-fault accounting is atomic so tests can assert exact coverage
+// ("the run really injected ≥ N faults").
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/domain"
+	"repro/internal/linear"
+)
+
+// Stats counts injected faults.
+type Stats struct {
+	Panics atomic.Uint64
+	Stalls atomic.Uint64
+	Calls  atomic.Uint64
+}
+
+// Injector decides, per call, whether to inject a fault.
+type Injector struct {
+	// PanicProb is the probability [0,1] that Point panics.
+	PanicProb float64
+	// StallProb is the probability [0,1] that Point sleeps StallFor —
+	// long enough, relative to the supervisor's HangAfter, to register
+	// as a hang.
+	StallProb float64
+	// StallFor is the stall duration (default 10ms).
+	StallFor time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Stats is exported for assertions.
+	Stats Stats
+}
+
+// New creates an injector with a deterministic seed. Probabilities start
+// at zero; set the fields before use.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), StallFor: 10 * time.Millisecond}
+}
+
+// roll draws one uniform sample.
+func (i *Injector) roll() float64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rng.Float64()
+}
+
+// Point is the injection site: call it from a handler (or operator) hot
+// path. It panics with probability PanicProb, stalls with probability
+// StallProb, and otherwise returns immediately.
+func (i *Injector) Point(label string) {
+	i.Stats.Calls.Add(1)
+	r := i.roll()
+	if r < i.PanicProb {
+		i.Stats.Panics.Add(1)
+		panic(fmt.Sprintf("faultinject: %s: injected panic (roll %.4f)", label, r))
+	}
+	if r < i.PanicProb+i.StallProb {
+		i.Stats.Stalls.Add(1)
+		time.Sleep(i.StallFor)
+	}
+}
+
+// Wrap instruments a handler with an injection point ahead of every
+// invocation: the injected panic unwinds to the domain entry point
+// exactly like a fault in the handler itself.
+func Wrap[T any](h domain.Handler[T], inj *Injector, label string) domain.Handler[T] {
+	return func(c *domain.Ctx, msg linear.Owned[T]) error {
+		inj.Point(label)
+		return h(c, msg)
+	}
+}
+
+// Flood applies mailbox-full pressure: it sends n payloads built by mk
+// into mb as fast as TrySend allows, relying on tail-drop (and the
+// mailbox release hook) for the overflow. It returns how many were
+// accepted; the rest were dropped by the mailbox and show up in its
+// Stats.Drops.
+func Flood[T any](mb *domain.Mailbox[T], n int, mk func(i int) T) (accepted int) {
+	for i := 0; i < n; i++ {
+		err := mb.TrySend(linear.New(mk(i)))
+		switch err {
+		case nil:
+			accepted++
+		case domain.ErrMailboxClosed:
+			return accepted
+		}
+	}
+	return accepted
+}

@@ -1,0 +1,228 @@
+package domain
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/linear"
+)
+
+// Errors returned by mailbox operations.
+var (
+	// ErrMailboxClosed reports a send to (or receive from a drained)
+	// closed mailbox.
+	ErrMailboxClosed = errors.New("domain: mailbox closed")
+	// ErrMailboxFull reports a TrySend that found no free slot; the
+	// payload has been released (tail drop), not returned.
+	ErrMailboxFull = errors.New("domain: mailbox full")
+)
+
+// MailboxStats holds a mailbox's counters, updated atomically so
+// supervisors can read them while traffic flows.
+type MailboxStats struct {
+	Sends atomic.Uint64 // payloads successfully enqueued
+	Recvs atomic.Uint64 // payloads successfully dequeued
+	Drops atomic.Uint64 // payloads destroyed by the mailbox (full or closed)
+}
+
+// Mailbox is the zero-copy channel between protection-domain goroutines:
+// a bounded queue of linear.Owned payloads. A send is an ownership move —
+// the sender's handle is invalidated before the payload is enqueued, so
+// no window exists in which both sides can touch the value — mirroring
+// the rref ownership-transfer calls of the synchronous SFI layer
+// (sfi.CallMove) in an asynchronous setting.
+//
+// The move is unconditional: every send consumes the caller's handle,
+// success or not. When the mailbox cannot accept the payload (TrySend on
+// a full queue, any send after Close), it destroys the payload through
+// the release hook instead of handing it back, the way a NIC tail-drops a
+// frame when the descriptor ring is full. This keeps the ownership story
+// one-directional — after Send/TrySend returns, the sender provably has
+// nothing — which is the invariant the fuzz harness checks.
+type Mailbox[T any] struct {
+	ch      chan linear.Owned[T]
+	done    chan struct{}
+	closed  atomic.Bool
+	release func(T)
+
+	// Stats is exported for the management plane.
+	Stats MailboxStats
+}
+
+// NewMailbox creates a mailbox holding at most capacity payloads
+// (minimum 1). release, when non-nil, is invoked for every payload the
+// mailbox destroys — dropped sends and messages left queued at Drain —
+// so resources inside payloads (pool buffers) can be reclaimed.
+func NewMailbox[T any](capacity int, release func(T)) *Mailbox[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Mailbox[T]{
+		ch:      make(chan linear.Owned[T], capacity),
+		done:    make(chan struct{}),
+		release: release,
+	}
+}
+
+// Cap reports the mailbox capacity.
+func (m *Mailbox[T]) Cap() int { return cap(m.ch) }
+
+// Depth reports the number of queued payloads.
+func (m *Mailbox[T]) Depth() int { return len(m.ch) }
+
+// Closed reports whether Close has been called.
+func (m *Mailbox[T]) Closed() bool { return m.closed.Load() }
+
+// destroy releases a payload the mailbox owns and will not deliver.
+func (m *Mailbox[T]) destroy(p linear.Owned[T]) {
+	m.Stats.Drops.Add(1)
+	if m.release != nil {
+		if v, err := p.Into(); err == nil {
+			m.release(v)
+			return
+		}
+	}
+	_ = p.Drop()
+}
+
+// Send moves v into the mailbox, blocking while it is full. The caller's
+// handle dies before enqueue. A send on a closed mailbox destroys the
+// payload and returns ErrMailboxClosed.
+func (m *Mailbox[T]) Send(v linear.Owned[T]) error {
+	moved, err := v.Move() // sender loses access here, unconditionally
+	if err != nil {
+		return err
+	}
+	if m.closed.Load() {
+		m.destroy(moved)
+		return ErrMailboxClosed
+	}
+	select {
+	case m.ch <- moved:
+		m.Stats.Sends.Add(1)
+		return nil
+	case <-m.done:
+		m.destroy(moved)
+		return ErrMailboxClosed
+	}
+}
+
+// TrySend is Send without blocking: a full mailbox tail-drops the payload
+// (released via the hook, counted in Stats.Drops) and returns
+// ErrMailboxFull. Feeders under backpressure use this so a domain sitting
+// in restart backoff sheds load instead of stalling the traffic source.
+func (m *Mailbox[T]) TrySend(v linear.Owned[T]) error {
+	moved, err := v.Move()
+	if err != nil {
+		return err
+	}
+	if m.closed.Load() {
+		m.destroy(moved)
+		return ErrMailboxClosed
+	}
+	select {
+	case m.ch <- moved:
+		m.Stats.Sends.Add(1)
+		return nil
+	case <-m.done:
+		m.destroy(moved)
+		return ErrMailboxClosed
+	default:
+		m.destroy(moved)
+		return ErrMailboxFull
+	}
+}
+
+// Recv dequeues the next payload, blocking until one arrives or the
+// mailbox is closed. Payloads already queued at close time are still
+// delivered; ErrMailboxClosed means closed and drained.
+func (m *Mailbox[T]) Recv() (linear.Owned[T], error) {
+	// Favor queued payloads over the closed signal so a receiver drains
+	// the backlog before observing the close.
+	select {
+	case p := <-m.ch:
+		m.Stats.Recvs.Add(1)
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-m.ch:
+		m.Stats.Recvs.Add(1)
+		return p, nil
+	case <-m.done:
+		// One more non-blocking look: a payload may have been enqueued
+		// concurrently with Close.
+		select {
+		case p := <-m.ch:
+			m.Stats.Recvs.Add(1)
+			return p, nil
+		default:
+			return linear.Owned[T]{}, ErrMailboxClosed
+		}
+	}
+}
+
+// recv is Recv with a supersession signal: quit aborts an idle wait with
+// errSuperseded so a retired serving generation stops competing for
+// payloads. A payload already queued can still win the race against
+// quit — the caller owns (and must account for) that final delivery.
+func (m *Mailbox[T]) recv(quit <-chan struct{}) (linear.Owned[T], error) {
+	select {
+	case p := <-m.ch:
+		m.Stats.Recvs.Add(1)
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-m.ch:
+		m.Stats.Recvs.Add(1)
+		return p, nil
+	case <-quit:
+		return linear.Owned[T]{}, errSuperseded
+	case <-m.done:
+		select {
+		case p := <-m.ch:
+			m.Stats.Recvs.Add(1)
+			return p, nil
+		default:
+			return linear.Owned[T]{}, ErrMailboxClosed
+		}
+	}
+}
+
+// TryRecv dequeues without blocking; ok=false means the queue was empty.
+func (m *Mailbox[T]) TryRecv() (linear.Owned[T], bool) {
+	select {
+	case p := <-m.ch:
+		m.Stats.Recvs.Add(1)
+		return p, true
+	default:
+		return linear.Owned[T]{}, false
+	}
+}
+
+// Close stops the mailbox: subsequent sends fail (destroying their
+// payloads); queued payloads remain receivable. Closing twice is a no-op.
+func (m *Mailbox[T]) Close() {
+	if m.closed.CompareAndSwap(false, true) {
+		close(m.done)
+	}
+}
+
+// Drain closes the mailbox and destroys every queued payload through the
+// release hook. Supervisors call it when retiring a domain for good, so
+// pool accounting balances even for work that was never processed. It
+// returns the number of payloads destroyed.
+func (m *Mailbox[T]) Drain() int {
+	m.Close()
+	n := 0
+	for {
+		select {
+		case p := <-m.ch:
+			m.destroy(p)
+			n++
+		default:
+			return n
+		}
+	}
+}

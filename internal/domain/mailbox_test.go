@@ -1,0 +1,142 @@
+package domain
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/linear"
+)
+
+// TestMailboxSendIsMove pins the core invariant: after any send —
+// successful, dropped, or rejected — the sender's handle is dead.
+func TestMailboxSendIsMove(t *testing.T) {
+	var released atomic.Int64
+	mb := NewMailbox[int](1, func(int) { released.Add(1) })
+
+	v := linear.New(1)
+	if err := mb.Send(v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Valid() {
+		t.Fatal("sender handle still valid after Send")
+	}
+
+	// Mailbox full: TrySend tail-drops, sender handle still dies.
+	v2 := linear.New(2)
+	if err := mb.TrySend(v2); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("TrySend on full: got %v, want ErrMailboxFull", err)
+	}
+	if v2.Valid() {
+		t.Fatal("sender handle still valid after dropped TrySend")
+	}
+	if released.Load() != 1 {
+		t.Fatalf("release ran %d times, want 1", released.Load())
+	}
+	if mb.Stats.Drops.Load() != 1 {
+		t.Fatalf("drops = %d, want 1", mb.Stats.Drops.Load())
+	}
+
+	// The queued payload arrives owned.
+	got, err := mb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := got.Into()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("received %d, want 1", n)
+	}
+}
+
+// TestMailboxSendMovedHandle: a stale handle cannot be sent (double-send
+// of the same payload is a linearity violation, not a silent duplicate).
+func TestMailboxSendMovedHandle(t *testing.T) {
+	mb := NewMailbox[int](2, nil)
+	v := linear.New(7)
+	if err := mb.Send(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Send(v); !errors.Is(err, linear.ErrMoved) {
+		t.Fatalf("second send of moved handle: got %v, want linear.ErrMoved", err)
+	}
+	if mb.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1 (no duplicate enqueued)", mb.Depth())
+	}
+}
+
+// TestMailboxCloseSemantics: queued payloads survive a close, late sends
+// are destroyed through the release hook, drained receivers see
+// ErrMailboxClosed.
+func TestMailboxCloseSemantics(t *testing.T) {
+	var released atomic.Int64
+	mb := NewMailbox[int](4, func(int) { released.Add(1) })
+	for i := 0; i < 3; i++ {
+		if err := mb.Send(linear.New(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mb.Close()
+	mb.Close() // idempotent
+
+	if err := mb.Send(linear.New(99)); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("send after close: got %v, want ErrMailboxClosed", err)
+	}
+	if released.Load() != 1 {
+		t.Fatalf("post-close send not released (released=%d)", released.Load())
+	}
+	for i := 0; i < 3; i++ {
+		got, err := mb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d after close: %v", i, err)
+		}
+		n, _ := got.Into()
+		if n != i {
+			t.Fatalf("recv %d = %d (FIFO violated)", i, n)
+		}
+	}
+	if _, err := mb.Recv(); !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("recv on drained closed mailbox: got %v, want ErrMailboxClosed", err)
+	}
+}
+
+// TestMailboxDrain destroys the backlog through the release hook.
+func TestMailboxDrain(t *testing.T) {
+	var released atomic.Int64
+	mb := NewMailbox[int](8, func(int) { released.Add(1) })
+	for i := 0; i < 5; i++ {
+		if err := mb.Send(linear.New(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := mb.Drain(); n != 5 {
+		t.Fatalf("Drain destroyed %d, want 5", n)
+	}
+	if released.Load() != 5 {
+		t.Fatalf("release ran %d times, want 5", released.Load())
+	}
+	if mb.Depth() != 0 || !mb.Closed() {
+		t.Fatal("mailbox not empty+closed after Drain")
+	}
+}
+
+// TestMailboxBlockingSendUnblocksOnClose: a sender parked on a full
+// mailbox is woken by Close and its payload destroyed, not stranded.
+func TestMailboxBlockingSendUnblocksOnClose(t *testing.T) {
+	var released atomic.Int64
+	mb := NewMailbox[int](1, func(int) { released.Add(1) })
+	if err := mb.Send(linear.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	errC := make(chan error)
+	go func() { errC <- mb.Send(linear.New(1)) }()
+	mb.Close()
+	if err := <-errC; !errors.Is(err, ErrMailboxClosed) {
+		t.Fatalf("blocked send after close: got %v, want ErrMailboxClosed", err)
+	}
+	if released.Load() != 1 {
+		t.Fatalf("blocked payload not released (released=%d)", released.Load())
+	}
+}

@@ -1,0 +1,171 @@
+// Chaos test for the supervised sharded runtime: the full parse →
+// firewall → maglev pipeline, per-worker protection domains, and a
+// seeded fault injector panicking (and occasionally stalling) the hot
+// path thousands of times. External test package so it can use the real
+// NF operators, which import netbricks.
+package netbricks_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/domain"
+	"repro/internal/domain/faultinject"
+	"repro/internal/dpdk"
+	"repro/internal/firewall"
+	"repro/internal/leakcheck"
+	"repro/internal/maglev"
+	"repro/internal/netbricks"
+	"repro/internal/packet"
+	"repro/internal/sfi"
+)
+
+// chaosStage is the injection site and the retired-instance witness: a
+// recovery re-exports a *fresh* instance into the stage's reference-table
+// slot, so if a remote invocation ever reaches an instance whose
+// replacement already exists, an rref served a cleared slot — the exact
+// §3 violation the runtime must make impossible.
+type chaosStage struct {
+	inj        *faultinject.Injector
+	retired    atomic.Bool
+	violations *atomic.Uint64
+}
+
+func (c *chaosStage) Name() string { return "chaos" }
+
+func (c *chaosStage) ProcessBatch(*netbricks.Batch) error {
+	if c.retired.Load() {
+		c.violations.Add(1)
+	}
+	c.inj.Point("chaos")
+	return nil
+}
+
+// chaosPipeline builds the per-worker isolated pipeline factory plus the
+// shared violation counter.
+func chaosPipeline(t *testing.T, inj *faultinject.Injector, violations *atomic.Uint64) func(w int) (*netbricks.IsolatedPipeline, error) {
+	t.Helper()
+	db := firewall.NewDB(firewall.Deny)
+	if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow}); err != nil {
+		t.Fatal(err)
+	}
+	backends := []maglev.Backend{
+		{Name: "be-0", IP: packet.Addr(10, 1, 0, 1)},
+		{Name: "be-1", IP: packet.Addr(10, 1, 0, 2)},
+	}
+	return func(w int) (*netbricks.IsolatedPipeline, error) {
+		lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
+		if err != nil {
+			return nil, err
+		}
+		cur := &chaosStage{inj: inj, violations: violations}
+		stages := []netbricks.Operator{
+			netbricks.Parse{},
+			firewall.Operator{DB: db},
+			cur,
+			maglev.Operator{LB: lb},
+		}
+		factories := []func() netbricks.Operator{
+			nil, nil,
+			func() netbricks.Operator {
+				// Recovery: retire the crashed instance, export a fresh
+				// one. Any later call landing on the old instance is a
+				// cleared-slot access and trips the witness.
+				cur.retired.Store(true)
+				cur = &chaosStage{inj: inj, violations: violations}
+				return cur
+			},
+			nil,
+		}
+		return netbricks.NewIsolatedPipeline(sfi.NewManager(), stages, factories)
+	}
+}
+
+// TestChaosSupervisedPipeline is the acceptance chaos run: >= 5000
+// injected faults across a supervised 4-worker firewall+maglev pipeline,
+// zero pool leaks (leakcheck), zero accesses to retired (cleared-slot)
+// operator instances, and the pipeline still forwarding afterwards.
+func TestChaosSupervisedPipeline(t *testing.T) {
+	const (
+		workers   = 4
+		batchSize = 8
+		perWorker = 5000
+	)
+	ring := 4 * batchSize
+	if ring < 128 {
+		ring = 128
+	}
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize:   workers*(ring+batchSize+batchSize) + 256,
+		RxQueues:   workers,
+		RxRingSize: ring,
+		CacheSize:  batchSize,
+		Gen:        dpdk.NewZipfFlows(dpdk.DefaultSpec(), 1024, 1.3, 42),
+	})
+	leakcheck.Pool(t, "chaos port", port.PoolAvailable)
+
+	inj := faultinject.New(1)
+	inj.PanicProb = 0.30
+	inj.StallProb = 0.001
+	inj.StallFor = 3 * time.Millisecond
+
+	var violations atomic.Uint64
+	r := &netbricks.ShardedRunner{
+		Port: port, Workers: workers, BatchSize: batchSize,
+		NewIsolated: chaosPipeline(t, inj, &violations),
+		Supervise:   true,
+		MailboxDepth: 2, // keeps the inbox under pressure through restarts
+		Policy: domain.Policy{
+			Backoff:     20 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			MaxRestarts: -1,
+			HangAfter:   2 * time.Millisecond,
+			Tick:        time.Millisecond,
+		},
+	}
+	stats, err := r.Run(perWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, ok := r.SupervisorSnapshot()
+	if !ok {
+		t.Fatal("no supervisor snapshot after supervised run")
+	}
+	faults := sn.Errors + sn.Crashes + sn.Hangs
+	t.Logf("chaos: batches=%d packets=%d faults=%d (errors=%d crashes=%d hangs=%d) restarts=%d injected panics=%d stalls=%d",
+		stats.Batches, stats.Packets, faults, sn.Errors, sn.Crashes, sn.Hangs,
+		sn.Restarts, inj.Stats.Panics.Load(), inj.Stats.Stalls.Load())
+
+	if faults < 5000 {
+		t.Fatalf("chaos run produced %d faults, want >= 5000", faults)
+	}
+	if inj.Stats.Panics.Load() == 0 || inj.Stats.Stalls.Load() == 0 {
+		t.Fatalf("injector coverage: panics=%d stalls=%d, want both > 0",
+			inj.Stats.Panics.Load(), inj.Stats.Stalls.Load())
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d invocations reached retired operator instances (cleared-slot rref access)", v)
+	}
+	if stats.Batches == 0 {
+		t.Fatal("pipeline forwarded nothing through the chaos run")
+	}
+	if stats.Recovered == 0 {
+		t.Fatal("no worker recoveries recorded")
+	}
+
+	// Aftermath: faults off, same runner — the pipeline must forward
+	// cleanly, proving the chaos run left no corrupted state behind.
+	inj.PanicProb, inj.StallProb = 0, 0
+	calm, err := r.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calm.Batches != workers*100 {
+		t.Fatalf("post-chaos run: %d batches, want %d", calm.Batches, workers*100)
+	}
+	if calm.Faults != 0 {
+		t.Fatalf("post-chaos run faulted %d times", calm.Faults)
+	}
+	// Pool-leak accounting is settled by leakcheck at cleanup.
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/domain"
 	"repro/internal/dpdk"
 	"repro/internal/linear"
 	"repro/internal/packet"
@@ -75,7 +76,22 @@ type ShardedRunner struct {
 	// AutoRecover makes workers recover failed stages and continue.
 	AutoRecover bool
 
+	// Supervise runs every worker as a supervised protection domain (see
+	// supervised.go): a feeder goroutine per queue sends batches into the
+	// worker domain's mailbox, and a domain.Supervisor absorbs worker
+	// faults — panics, pipeline errors, stalls — under Policy, restarting
+	// workers while the rest keep forwarding. Supervised mode always
+	// recovers (AutoRecover is implied).
+	Supervise bool
+	// Policy parameterizes the supervisor in supervised mode; the zero
+	// value gets the domain package defaults.
+	Policy domain.Policy
+	// MailboxDepth is the per-worker inbox capacity in batches for
+	// supervised mode (default 4).
+	MailboxDepth int
+
 	stats []*WorkerStats
+	sup   atomic.Pointer[domain.Supervisor]
 }
 
 // WorkerSnapshots reports per-worker stats for the most recent Run (live
@@ -86,6 +102,22 @@ func (r *ShardedRunner) WorkerSnapshots() []RunStats {
 		out[i] = ws.Snapshot()
 	}
 	return out
+}
+
+// Snapshot aggregates the per-worker counters into one RunStats, with
+// the same semantics as domain.Supervisor.Snapshot: a point-in-time copy
+// of monotonically increasing atomics, safe to take while a run is live,
+// never blocking the hot path.
+func (r *ShardedRunner) Snapshot() RunStats {
+	var agg RunStats
+	for _, s := range r.WorkerSnapshots() {
+		agg.Batches += s.Batches
+		agg.Packets += s.Packets
+		agg.Drops += s.Drops
+		agg.Faults += s.Faults
+		agg.Recovered += s.Recovered
+	}
+	return agg
 }
 
 // Run processes up to n batches on every worker and returns the
@@ -111,6 +143,9 @@ func (r *ShardedRunner) Run(n int) (RunStats, error) {
 	r.stats = make([]*WorkerStats, r.Workers)
 	for w := range r.stats {
 		r.stats[w] = &WorkerStats{}
+	}
+	if r.Supervise {
+		return r.runSupervised(n)
 	}
 	errs := make([]error, r.Workers)
 	var wg sync.WaitGroup

@@ -273,20 +273,22 @@ func TestShardedRunnerEmptyPartition(t *testing.T) {
 func TestShardedRunnerValidation(t *testing.T) {
 	port := dpdk.NewPort(dpdk.Config{PoolSize: 64, RxQueues: 2})
 	direct := func(int) *Pipeline { return NewPipeline(NullFilter{}) }
+	// ShardedRunner holds atomics and must not be copied (go vet
+	// copylocks), hence pointers here.
 	cases := []struct {
 		name string
-		r    ShardedRunner
+		r    *ShardedRunner
 	}{
-		{"zero workers", ShardedRunner{Port: port, BatchSize: 4, NewDirect: direct}},
-		{"zero batch", ShardedRunner{Port: port, Workers: 2, NewDirect: direct}},
-		{"no pipeline", ShardedRunner{Port: port, Workers: 2, BatchSize: 4}},
-		{"both pipelines", ShardedRunner{Port: port, Workers: 2, BatchSize: 4,
+		{"zero workers", &ShardedRunner{Port: port, BatchSize: 4, NewDirect: direct}},
+		{"zero batch", &ShardedRunner{Port: port, Workers: 2, NewDirect: direct}},
+		{"no pipeline", &ShardedRunner{Port: port, Workers: 2, BatchSize: 4}},
+		{"both pipelines", &ShardedRunner{Port: port, Workers: 2, BatchSize: 4,
 			NewDirect: direct,
 			NewIsolated: func(int) (*IsolatedPipeline, error) {
 				return NewIsolatedPipeline(sfi.NewManager(), []Operator{NullFilter{}}, nil)
 			}}},
-		{"nil port", ShardedRunner{Workers: 2, BatchSize: 4, NewDirect: direct}},
-		{"too few queues", ShardedRunner{Port: port, Workers: 4, BatchSize: 4, NewDirect: direct}},
+		{"nil port", &ShardedRunner{Workers: 2, BatchSize: 4, NewDirect: direct}},
+		{"too few queues", &ShardedRunner{Port: port, Workers: 4, BatchSize: 4, NewDirect: direct}},
 	}
 	for _, c := range cases {
 		if _, err := c.r.Run(1); err == nil {

@@ -1,0 +1,223 @@
+// Supervised sharded execution: each worker runs as a protection domain
+// under a domain.Supervisor instead of a bare goroutine.
+//
+// The plain ShardedRunner treats a worker fault as the end of the run
+// (or, with AutoRecover, retries inline). Supervised mode upgrades each
+// worker to a long-lived service: a feeder goroutine pumps batches from
+// the worker's receive queue into the worker domain's mailbox (a
+// blocking send, so a worker sitting in restart backoff exerts
+// backpressure on its queue instead of losing batches), and the
+// supervisor absorbs worker faults — operator panics, pipeline errors,
+// handler stalls — restarting workers under the configured policy while
+// the other workers keep forwarding.
+//
+// Buffer conservation holds across every fault path: the handler
+// snapshots the batch's packet slice before ownership moves into the
+// pipeline, so whichever way an invocation dies — error return, panic
+// unwinding mid-pipeline, payload reclaimed at the domain entry point,
+// mailbox drop — the packets go back to the worker's queue cache.
+package netbricks
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/domain"
+	"repro/internal/linear"
+	"repro/internal/packet"
+)
+
+// runSupervised is Run's supervised-mode body: spawn one supervised
+// domain plus one feeder per worker, wait for the feeders to exhaust
+// their batch budget and the domains to drain, then settle the pool.
+func (r *ShardedRunner) runSupervised(n int) (RunStats, error) {
+	sup := domain.NewSupervisor(r.Policy)
+	defer sup.Close()
+	r.sup.Store(sup)
+
+	doms := make([]*domain.Domain[*Batch], r.Workers)
+	for w := 0; w < r.Workers; w++ {
+		d, err := r.spawnWorker(sup, w)
+		if err != nil {
+			return RunStats{}, err
+		}
+		doms[w] = d
+	}
+	var wg sync.WaitGroup
+	for w := range doms {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.feedWorker(doms[w], w, n)
+		}(w)
+	}
+	wg.Wait()
+	for _, d := range doms {
+		<-d.Done()
+	}
+	sup.Close()
+	r.Port.Drain()
+	return r.Snapshot(), nil
+}
+
+// spawnWorker builds worker w's pipeline and spawns its supervised
+// domain. The handler mirrors runWorker's per-batch body; recovery
+// mirrors its AutoRecover path (rebuild the direct pipeline, or recover
+// the isolated pipeline's failed stage domains).
+func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Domain[*Batch], error) {
+	ws := r.stats[w]
+	var direct atomic.Pointer[Pipeline]
+	var isolated *IsolatedPipeline
+	if r.NewDirect != nil {
+		direct.Store(r.NewDirect(w))
+	} else {
+		ip, err := r.NewIsolated(w)
+		if err != nil {
+			return nil, err
+		}
+		isolated = ip
+	}
+
+	free := func(pkts []*packet.Packet) { r.Port.FreeQueue(w, pkts) }
+
+	handler := func(c *domain.Ctx, msg linear.Owned[*Batch]) error {
+		// Snapshot the packet slice while we still own the batch: once
+		// ownership moves into the pipeline, this copy is the only route
+		// the packets have back to the pool if the invocation faults.
+		var pkts []*packet.Packet
+		if err := msg.With(func(b *Batch) {
+			pkts = append([]*packet.Packet(nil), b.Pkts...)
+		}); err != nil {
+			return err
+		}
+		defer func() {
+			// A panic unwinding mid-pipeline (direct mode; isolated mode
+			// converts stage panics to errors at the sfi boundary) took
+			// the batch down with it: free the snapshot on the way to the
+			// domain guard. If the payload is still owned the entry-point
+			// reclaim handles it instead — never both.
+			if p := recover(); p != nil {
+				ws.Faults.Add(1)
+				if !msg.Valid() {
+					free(pkts)
+				}
+				panic(p)
+			}
+		}()
+		var out linear.Owned[*Batch]
+		var err error
+		if isolated != nil {
+			out, err = isolated.Process(c.SFI, msg)
+		} else {
+			out, err = direct.Load().Process(msg)
+		}
+		if err != nil {
+			ws.Faults.Add(1)
+			if out.Valid() {
+				// The pipeline handed the (faulted) batch back; destroy it.
+				if b, ierr := out.Into(); ierr == nil {
+					free(b.Pkts)
+					free(b.Dropped)
+				}
+			} else if !msg.Valid() {
+				// The batch was lost inside a failed stage domain; the
+				// snapshot settles the pool, as in runWorker's fault path.
+				free(pkts)
+			}
+			return err
+		}
+		final, ferr := out.Into()
+		if ferr != nil {
+			return ferr
+		}
+		ws.Batches.Add(1)
+		ws.Packets.Add(uint64(len(final.Pkts)))
+		ws.Drops.Add(uint64(len(final.Dropped)))
+		r.Port.TxBurstQueue(w, final.Pkts)
+		r.Port.FreeQueue(w, final.Dropped)
+		return nil
+	}
+
+	recoverFn := func() error {
+		if isolated != nil {
+			if err := isolated.Recover(); err != nil {
+				return err
+			}
+		} else {
+			// A fresh pipeline instance: operator state reinitializes from
+			// clean, exactly like a re-exported stage after §3 recovery.
+			direct.Store(r.NewDirect(w))
+		}
+		ws.Recovered.Add(1)
+		return nil
+	}
+
+	depth := r.MailboxDepth
+	if depth <= 0 {
+		depth = 4
+	}
+	return domain.Spawn(sup, domain.Config[*Batch]{
+		Name:    fmt.Sprintf("worker-%d", w),
+		Mailbox: depth,
+		Handler: handler,
+		Release: func(b *Batch) {
+			// Payloads destroyed by the runtime — mailbox drops, backlog
+			// drained at stop, batches reclaimed at the entry point.
+			free(b.Pkts)
+			free(b.Dropped)
+		},
+		Recover: recoverFn,
+	})
+}
+
+// feedWorker pumps up to n batches from worker w's receive queue into
+// its domain's mailbox. Send blocks while the mailbox is full (a worker
+// in restart backoff backpressures its queue rather than dropping), and
+// fails only when the domain has stopped for good — at which point the
+// mailbox has already released the payload.
+func (r *ShardedRunner) feedWorker(d *domain.Domain[*Batch], w, n int) {
+	ws := r.stats[w]
+	buf := make([]*packet.Packet, r.BatchSize)
+	idle := 0
+	for i := 0; i < n; {
+		got := r.Port.RxBurstQueue(w, buf)
+		if got == 0 {
+			ws.IdlePolls.Add(1)
+			idle++
+			if idle >= maxIdlePolls {
+				break
+			}
+			continue
+		}
+		idle = 0
+		i++
+		b := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
+		if err := d.Inbox().Send(linear.New(b)); err != nil {
+			break
+		}
+	}
+	d.Inbox().Close()
+}
+
+// SupervisorSnapshot returns the domain-level aggregate for the current
+// (or most recent) supervised run — crash/hang/restart detail the
+// RunStats view folds into Faults/Recovered. ok is false when the runner
+// has not run in supervised mode.
+func (r *ShardedRunner) SupervisorSnapshot() (domain.Snapshot, bool) {
+	sup := r.sup.Load()
+	if sup == nil {
+		return domain.Snapshot{}, false
+	}
+	return sup.Snapshot(), true
+}
+
+// DomainSnapshots returns per-worker domain snapshots for the current
+// (or most recent) supervised run, in worker order.
+func (r *ShardedRunner) DomainSnapshots() []domain.Snapshot {
+	sup := r.sup.Load()
+	if sup == nil {
+		return nil
+	}
+	return sup.Snapshots()
+}

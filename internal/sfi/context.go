@@ -36,6 +36,13 @@ func (c *Context) Current() DomainID {
 // Depth reports the cross-domain call depth (0 at root).
 func (c *Context) Depth() int { return len(c.stack) }
 
+// Reset truncates the stack back to RootDomain. A supervisor reuses a
+// worker's context after retiring that worker mid-call (hang abandonment):
+// the replacement goroutine must not inherit the stuck call's domain
+// attribution. Like every other Context method it must only be called by
+// the goroutine that owns the context.
+func (c *Context) Reset() { c.stack = c.stack[:0] }
+
 func (c *Context) push(id DomainID) {
 	c.stack = append(c.stack, id)
 }

@@ -31,6 +31,13 @@ type RRef[T any] struct {
 type rrefBinding[T any] struct {
 	weak        linear.Weak[T]
 	intercepted bool // entry has a per-object interceptor installed
+	// gen is the owner domain's teardown generation when this binding was
+	// minted. A successful weak upgrade alone does not prove the entry is
+	// still installed: an in-flight invocation holds a strong handle for
+	// its whole duration, and if the domain faults meanwhile, that handle
+	// keeps the revoked proxy alive. Comparing generations catches this —
+	// a stale binding is refused even though its proxy is upgradable.
+	gen uint64
 }
 
 // Export places obj into d's reference table and returns the RRef clients
@@ -78,12 +85,15 @@ func exportAt[T any](d *Domain, slot uint64, explicit bool, obj T, ic Intercepto
 	}
 	d.mu.Unlock()
 	if prev != nil {
+		// Replacing a live entry revokes it: bump the generation so
+		// bindings to the replaced proxy are refused from now on.
+		d.gen.Add(1)
 		prev.revoke()
 		d.Stats.Revocations.Add(1)
 	}
 	d.Stats.Exports.Add(1)
 	rref := &RRef[T]{dom: d, slot: slot}
-	rref.bind.Store(&rrefBinding[T]{weak: rc.Downgrade(), intercepted: ic != nil})
+	rref.bind.Store(&rrefBinding[T]{weak: rc.Downgrade(), intercepted: ic != nil, gen: d.gen.Load()})
 	return rref, nil
 }
 
@@ -106,25 +116,39 @@ func (r *RRef[T]) Alive() bool {
 // proxy was replaced by recovery. It returns the strong handle (which the
 // caller must Drop) and the entry's interceptor.
 //
-// The fast path is the single compare-and-swap of the weak upgrade, with
-// no table lock: the table's strong Rc is the proxy's only strong root,
-// so a successful upgrade proves the entry is still installed and the
-// domain live (both revocation and fault teardown drop that root first).
+// The fast path is a weak upgrade plus one generation compare, with no
+// table lock. The upgrade alone is not proof the entry is still
+// installed: normally the table's strong Rc is the proxy's only strong
+// root (both revocation and fault teardown drop it first), but an
+// invocation in flight at teardown time holds a second strong handle for
+// its whole duration — long enough, for a stalled call, for the domain
+// to be torn down, recovered, and serving again. The generation check
+// refuses such stale bindings, so new calls fail closed (or re-bind to
+// the recovered entry) instead of reaching the torn-down object.
 // Interceptors are fetched from the table only when one was installed at
 // export time (recorded in the rref), keeping the common no-interceptor
 // call lock-free.
 func (r *RRef[T]) acquire() (linear.Rc[T], Interceptor, error) {
 	old := r.bind.Load()
 	if rc, ok := old.weak.Upgrade(); ok {
-		var ic Interceptor
-		if old.intercepted {
-			if e := r.dom.lookup(r.slot); e != nil {
-				ic = e.interceptor
+		if old.gen == r.dom.gen.Load() {
+			var ic Interceptor
+			if old.intercepted {
+				if e := r.dom.lookup(r.slot); e != nil {
+					ic = e.interceptor
+				}
 			}
+			return rc, ic, nil
 		}
-		return rc, ic, nil
+		// Stale binding pinned alive by an in-flight call; fall through.
+		_ = rc.Drop()
 	}
-	// Slow path: the proxy died (revocation, fault, or recovery).
+	// Slow path: the proxy died (revocation, fault, or recovery) or its
+	// binding is from a previous table generation. Read the generation
+	// before the table lookup so the published binding is never fresher
+	// than the entry it wraps (a teardown between the two reads leaves
+	// the binding conservatively stale, never wrongly current).
+	g := r.dom.gen.Load()
 	if st := domainState(r.dom.state.Load()); st != stateLive {
 		return linear.Rc[T]{}, nil, fmt.Errorf("invoke on domain %d (%s): %w", r.dom.id, r.dom.name, stateErr(st))
 	}
@@ -139,7 +163,7 @@ func (r *RRef[T]) acquire() (linear.Rc[T], Interceptor, error) {
 		return linear.Rc[T]{}, nil, fmt.Errorf("re-bind slot %d in domain %d: have %s: %w", r.slot, r.dom.id, e.typeName, ErrWrongType)
 	}
 	strong := rc.Clone()
-	fresh := &rrefBinding[T]{weak: strong.Downgrade(), intercepted: e.interceptor != nil}
+	fresh := &rrefBinding[T]{weak: strong.Downgrade(), intercepted: e.interceptor != nil, gen: g}
 	// Publish the new binding; if another worker re-bound first, keep
 	// theirs and retire ours (a binding is published exactly once, so
 	// the loser is the only dropper of its own weak handle).

@@ -106,6 +106,15 @@ type Domain struct {
 	mgr  *Manager
 
 	state atomic.Int32
+	// gen is the teardown generation: bumped whenever table entries are
+	// revoked (fault teardown, Revoke, export-over-live-entry). RRef
+	// bindings record the generation they were minted under; a binding
+	// from an older generation is refused by the invocation fast path
+	// even if its proxy is still pinned alive by an in-flight call —
+	// without this, a long-running invocation holding the strong handle
+	// across a fault would let *new* calls through to the torn-down
+	// object instead of failing closed.
+	gen atomic.Uint64
 
 	mu       sync.RWMutex
 	table    map[uint64]*tableEntry
@@ -191,6 +200,7 @@ func (d *Domain) Revoke(slot uint64) {
 	delete(d.table, slot)
 	d.mu.Unlock()
 	if e != nil {
+		d.gen.Add(1)
 		e.revoke()
 		d.Stats.Revocations.Add(1)
 	}
@@ -213,6 +223,10 @@ func (d *Domain) clearTable() {
 	entries := d.table
 	d.table = make(map[uint64]*tableEntry)
 	d.mu.Unlock()
+	// Invalidate every outstanding rref binding, including ones whose
+	// proxies are pinned alive by in-flight invocations: new calls must
+	// fail closed (or re-bind after recovery), not reach the old object.
+	d.gen.Add(1)
 	for range entries {
 		d.Stats.Revocations.Add(1)
 	}
@@ -221,14 +235,27 @@ func (d *Domain) clearTable() {
 	}
 }
 
+// Reset tears a live domain down to its post-fault state: the domain is
+// marked failed and its reference table is cleared, so every outstanding
+// RRef fails closed until Manager.Recover re-populates the slots. This is
+// the §3 teardown step ("unwind to the domain entry point, clear the
+// reference table") exported as a reusable operation: the call path
+// invokes it when a panic is caught at the domain boundary, and external
+// supervisors invoke it directly to retire a domain they have declared
+// hung or otherwise unhealthy. Resetting a domain that is not live is a
+// no-op; Reset reports whether it performed the teardown.
+func (d *Domain) Reset() bool {
+	if !d.state.CompareAndSwap(int32(stateLive), int32(stateFailed)) {
+		return false
+	}
+	d.Stats.Faults.Add(1)
+	d.clearTable()
+	return true
+}
+
 // fail tears the domain down after a caught panic: mark failed, then clear
 // the reference table so clients fail closed until recovery.
-func (d *Domain) fail() {
-	if d.state.CompareAndSwap(int32(stateLive), int32(stateFailed)) {
-		d.Stats.Faults.Add(1)
-		d.clearTable()
-	}
-}
+func (d *Domain) fail() { d.Reset() }
 
 // Destroy permanently tears the domain down.
 func (d *Domain) Destroy() {
