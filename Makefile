@@ -2,16 +2,30 @@ GO ?= go
 
 # Packages whose concurrency is load-bearing: the sharded runtime, the
 # supervised protection-domain runtime and its chaos harness, the pool
-# caches under them, and the linear-ownership cells that make it safe.
-RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/...
+# caches under them, the linear-ownership cells that make it safe, and
+# the telemetry core every one of them records into.
+RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry
 
 # Per-benchmark time for the JSON bench run; raise for stabler numbers.
 BENCHTIME ?= 0.5s
 
-.PHONY: check build test race race-all vet fuzz bench bench-all
+.PHONY: check build test race race-all vet guard-atomics fuzz bench bench-all
 
-## check: the PR gate — vet, build, full tests, race tier.
-check: vet build test race
+## check: the PR gate — vet, build, full tests, race tier, atomics guard.
+check: vet build test race guard-atomics
+
+## guard-atomics: hot-path counters must be typed atomic cells
+## (atomic.Uint64 / telemetry.Counter), never raw integers passed to the
+## legacy atomic.AddUint64-style functions — typed cells cannot be read
+## non-atomically by accident and plug into the telemetry registry.
+guard-atomics:
+	@matches=$$(grep -rnE 'atomic\.(Add|Load|Store|Swap|CompareAndSwap)(Int|Uint)(32|64)\(' \
+		--include='*.go' --exclude='*_test.go' cmd internal 2>/dev/null || true); \
+	if [ -n "$$matches" ]; then \
+		echo "$$matches"; \
+		echo "guard-atomics: raw-integer atomic calls found; use atomic.Int64/atomic.Uint64 or telemetry cells"; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +56,8 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench='Figure2|Sharded|Supervised|Recovery' -benchmem -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o BENCH_pipeline.json
+	$(GO) test -run='^$$' -bench='Telemetry' -benchmem -benchtime=$(BENCHTIME) ./internal/telemetry \
+		| $(GO) run ./cmd/benchjson -out BENCH_telemetry.json
 
 ## bench-all: the full testing.B harness (human-readable only).
 bench-all:

@@ -33,6 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_pipeline.json", "output JSON file")
+	flag.StringVar(out, "out", "BENCH_pipeline.json", "output JSON file (alias for -o)")
 	flag.Parse()
 
 	results := map[string]map[string]float64{}

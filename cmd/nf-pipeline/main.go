@@ -13,14 +13,21 @@
 //	nf-pipeline -workers 4 -supervise    # workers as supervised domains
 //	nf-pipeline -workers 4 -supervise -crashrate 0.05
 //	                                     # chaos: 5% of batches panic
+//	nf-pipeline -metrics-addr :9090 -supervise -crashrate 0.05
+//	                                     # live /metrics + flight recorder
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/cycles"
+	"repro/internal/domain"
 	"repro/internal/domain/faultinject"
 	"repro/internal/dpdk"
 	"repro/internal/firewall"
@@ -28,6 +35,7 @@ import (
 	"repro/internal/netbricks"
 	"repro/internal/packet"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 )
 
 // faultyFirewall wraps the firewall operator with §3-style fault
@@ -57,21 +65,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nf-pipeline: ")
 	var (
-		batches = flag.Int("batches", 10000, "number of batches to process")
-		size    = flag.Int("size", 32, "packets per batch")
-		inject  = flag.Int("inject", 0, "panic the firewall stage on this batch (0 = never)")
-		direct  = flag.Bool("direct", false, "run without isolation (baseline)")
+		batches   = flag.Int("batches", 10000, "number of batches to process")
+		size      = flag.Int("size", 32, "packets per batch")
+		inject    = flag.Int("inject", 0, "panic the firewall stage on this batch (0 = never)")
+		direct    = flag.Bool("direct", false, "run without isolation (baseline)")
 		flows     = flag.Int("flows", 4096, "distinct synthetic flows")
 		workers   = flag.Int("workers", 1, "parallel pipeline workers (RSS-sharded when > 1)")
 		supervise = flag.Bool("supervise", false, "run sharded workers as supervised protection domains")
 		crashrate = flag.Float64("crashrate", 0, "probability [0,1) that the firewall panics on a batch")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/flightrecorder on this address (e.g. :9090)")
+		statsInterval = flag.Duration("stats-interval", 0, "log a JSON metrics snapshot at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		log.Fatal("-workers must be >= 1")
 	}
 	if *supervise && *workers < 2 {
-		log.Fatal("-supervise requires -workers >= 2 (it is a sharded-runner mode)")
+		// Supervision is a sharded-runner mode; run the minimal shard count
+		// rather than refusing.
+		log.Print("-supervise implies sharded workers; raising -workers to 2")
+		*workers = 2
 	}
 	if *crashrate < 0 || *crashrate >= 1 {
 		log.Fatal("-crashrate must be in [0,1)")
@@ -83,6 +97,36 @@ func main() {
 	if *crashrate > 0 {
 		inj = faultinject.New(42)
 		inj.PanicProb = *crashrate
+	}
+
+	// Telemetry: one shared registry for every layer's counters and a
+	// flight recorder capturing the last 256 domain events. Both are
+	// nil-safe, but the pipeline always runs with them on — the record
+	// path is pure atomics, so there is nothing to turn off.
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(256)
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/flightrecorder", rec.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("serving http://%s/metrics and /debug/flightrecorder", *metricsAddr)
+	}
+	if *statsInterval > 0 {
+		go func() {
+			t := time.NewTicker(*statsInterval)
+			defer t.Stop()
+			for range t.C {
+				var buf bytes.Buffer
+				if err := reg.WriteJSON(&buf); err == nil {
+					log.Printf("stats: %s", bytes.TrimSpace(buf.Bytes()))
+				}
+			}
+		}()
 	}
 
 	// Substrate: traffic source, firewall rules, Maglev backends. With
@@ -103,6 +147,7 @@ func main() {
 		CacheSize:  cacheSize,
 		Gen:        dpdk.NewZipfFlows(dpdk.DefaultSpec(), *flows, 1.3, 42),
 	})
+	port.RegisterMetrics(reg, telemetry.Labels{"port": "0"})
 	db := firewall.NewDB(firewall.Deny)
 	// Admit the synthetic service prefix; everything else drops.
 	if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow, Comment: "service"}); err != nil {
@@ -158,7 +203,9 @@ func main() {
 		if *direct {
 			runner.Direct = netbricks.NewPipeline(stagesFor(0)...)
 		} else {
-			iso, ierr := netbricks.NewIsolatedPipeline(sfi.NewManager(), stagesFor(0), recoveryFor(0))
+			mgr := sfi.NewManager()
+			mgr.SetRegistry(reg, nil)
+			iso, ierr := netbricks.NewIsolatedPipeline(mgr, stagesFor(0), recoveryFor(0))
 			if ierr != nil {
 				log.Fatal(ierr)
 			}
@@ -170,6 +217,16 @@ func main() {
 		runner := &netbricks.ShardedRunner{
 			Port: port, Workers: *workers, BatchSize: *size,
 			Supervise: *supervise,
+			Registry:  reg,
+			Policy: domain.Policy{
+				Recorder: rec,
+				OnDegrade: func(name string, events []telemetry.Event) {
+					log.Printf("flight-recorder dump: %s exhausted its restart budget; last %d events:", name, len(events))
+					for _, ev := range events {
+						log.Printf("  %s", ev)
+					}
+				},
+			},
 		}
 		if *direct {
 			runner.NewDirect = func(w int) *netbricks.Pipeline {
@@ -177,7 +234,12 @@ func main() {
 			}
 		} else {
 			runner.NewIsolated = func(w int) (*netbricks.IsolatedPipeline, error) {
-				return netbricks.NewIsolatedPipeline(sfi.NewManager(), stagesFor(w), recoveryFor(w))
+				// Each worker's stage domains live in a private manager;
+				// the worker label keeps their series apart on the shared
+				// registry.
+				mgr := sfi.NewManager()
+				mgr.SetRegistry(reg, telemetry.Labels{"worker": strconv.Itoa(w)})
+				return netbricks.NewIsolatedPipeline(mgr, stagesFor(w), recoveryFor(w))
 			}
 			runner.AutoRecover = true
 		}

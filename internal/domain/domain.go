@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/linear"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 )
 
 // ErrCrashed wraps a handler panic caught at the domain entry point.
@@ -112,15 +113,17 @@ type Config[T any] struct {
 	Recover func() error
 }
 
-// stats fields are atomic: written by the domain goroutine and the
-// supervisor, read by snapshots while traffic flows.
+// stats fields are telemetry cells: written by the domain goroutine and
+// the supervisor, read by snapshots and metric scrapes while traffic
+// flows. Registering them on a telemetry.Registry (Policy.Registry)
+// attaches names; the write path is identical either way.
 type stats struct {
-	processed    atomic.Uint64
-	errors       atomic.Uint64
-	crashes      atomic.Uint64
-	hangs        atomic.Uint64
-	restarts     atomic.Uint64
-	reclaimed    atomic.Uint64
+	processed    telemetry.Counter
+	errors       telemetry.Counter
+	crashes      telemetry.Counter
+	hangs        telemetry.Counter
+	restarts     telemetry.Counter
+	reclaimed    telemetry.Counter
 	backoffNanos atomic.Int64
 	degraded     atomic.Bool
 }
@@ -175,6 +178,11 @@ type Domain[T any] struct {
 	fallbck Handler[T]
 
 	pd *sfi.Domain
+
+	// rec/actor: the supervisor's flight recorder (nil-safe) and this
+	// domain's interned name in it. The inbox shares the actor ID.
+	rec   *telemetry.Recorder
+	actor telemetry.ActorID
 
 	// epoch identifies the serving goroutine generation. The supervisor
 	// bumps it to supersede a goroutine it has given up on (hangs, group
@@ -320,11 +328,13 @@ func (d *Domain[T]) guard(ctx *Ctx, msg linear.Owned[T]) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			d.st.crashes.Add(1)
+			d.rec.Record(d.actor, telemetry.EvPanic, d.faultStreak.Load()+1)
 			err = fmt.Errorf("domain %s: panic: %v: %w", d.name, p, ErrCrashed)
 		}
 	}()
 	if herr := d.handler.Load().fn(ctx, msg); herr != nil {
 		d.st.errors.Add(1)
+		d.rec.Record(d.actor, telemetry.EvError, d.faultStreak.Load()+1)
 		return fmt.Errorf("domain %s: %w", d.name, herr)
 	}
 	return nil
@@ -360,6 +370,7 @@ func (d *Domain[T]) degrade() bool {
 	}
 	d.handler.Store(&handlerCell[T]{fn: d.fallbck})
 	d.st.degraded.Store(true)
+	d.rec.Record(d.actor, telemetry.EvDegrade, d.faultStreak.Load())
 	return true
 }
 
@@ -370,6 +381,38 @@ func (d *Domain[T]) stop() {
 	if d.state.Swap(int32(StateStopped)) == int32(StateStopped) {
 		return
 	}
+	d.rec.Record(d.actor, telemetry.EvStop, 0)
 	d.inbox.Drain()
 	close(d.done)
+}
+
+// registerMetrics exports the domain's counters on reg labeled
+// {domain=<name>}. Called once at Spawn; the record path never sees the
+// registry.
+func (d *Domain[T]) registerMetrics(reg *telemetry.Registry, base telemetry.Labels) {
+	labels := base.With("domain", d.name)
+	reg.RegisterCounter("domain_processed_total", labels, &d.st.processed)
+	reg.RegisterCounter("domain_errors_total", labels, &d.st.errors)
+	reg.RegisterCounter("domain_crashes_total", labels, &d.st.crashes)
+	reg.RegisterCounter("domain_hangs_total", labels, &d.st.hangs)
+	reg.RegisterCounter("domain_restarts_total", labels, &d.st.restarts)
+	reg.RegisterCounter("domain_reclaimed_total", labels, &d.st.reclaimed)
+	reg.RegisterCounterFunc("domain_backoff_seconds_total", labels, func() float64 {
+		return time.Duration(d.st.backoffNanos.Load()).Seconds()
+	})
+	reg.RegisterGaugeFunc("domain_state", labels, func() float64 {
+		return float64(d.state.Load())
+	})
+	reg.RegisterGaugeFunc("domain_degraded", labels, func() float64 {
+		if d.st.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.RegisterCounter("mailbox_sends_total", labels, &d.inbox.Stats.Sends)
+	reg.RegisterCounter("mailbox_recvs_total", labels, &d.inbox.Stats.Recvs)
+	reg.RegisterCounter("mailbox_drops_total", labels, &d.inbox.Stats.Drops)
+	reg.RegisterGaugeFunc("mailbox_depth", labels, func() float64 {
+		return float64(d.inbox.Depth())
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/linear"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by mailbox operations.
@@ -17,12 +18,13 @@ var (
 	ErrMailboxFull = errors.New("domain: mailbox full")
 )
 
-// MailboxStats holds a mailbox's counters, updated atomically so
-// supervisors can read them while traffic flows.
+// MailboxStats holds a mailbox's counters — telemetry cells updated
+// atomically so supervisors and metric scrapes can read them while
+// traffic flows.
 type MailboxStats struct {
-	Sends atomic.Uint64 // payloads successfully enqueued
-	Recvs atomic.Uint64 // payloads successfully dequeued
-	Drops atomic.Uint64 // payloads destroyed by the mailbox (full or closed)
+	Sends telemetry.Counter // payloads successfully enqueued
+	Recvs telemetry.Counter // payloads successfully dequeued
+	Drops telemetry.Counter // payloads destroyed by the mailbox (full or closed)
 }
 
 // Mailbox is the zero-copy channel between protection-domain goroutines:
@@ -45,8 +47,35 @@ type Mailbox[T any] struct {
 	closed  atomic.Bool
 	release func(T)
 
+	// rec, when non-nil, receives a flight-recorder event per payload
+	// movement (send, receive, tail-drop). Set once via Observe before
+	// traffic starts.
+	rec   *telemetry.Recorder
+	actor telemetry.ActorID
+
 	// Stats is exported for the management plane.
 	Stats MailboxStats
+}
+
+// Observe attaches a flight recorder to the mailbox: every send,
+// receive, and drop is recorded under actor. Call before the mailbox
+// carries traffic; the zero state records nothing.
+func (m *Mailbox[T]) Observe(rec *telemetry.Recorder, actor telemetry.ActorID) {
+	m.rec = rec
+	m.actor = actor
+}
+
+// noteSend and noteRecv bump the counters and drop a flight-recorder
+// event carrying the queue depth after the move (both no-ops on the
+// recorder side when none is attached).
+func (m *Mailbox[T]) noteSend() {
+	m.Stats.Sends.Add(1)
+	m.rec.Record(m.actor, telemetry.EvSend, uint64(len(m.ch)))
+}
+
+func (m *Mailbox[T]) noteRecv() {
+	m.Stats.Recvs.Add(1)
+	m.rec.Record(m.actor, telemetry.EvRecv, uint64(len(m.ch)))
 }
 
 // NewMailbox creates a mailbox holding at most capacity payloads
@@ -76,6 +105,7 @@ func (m *Mailbox[T]) Closed() bool { return m.closed.Load() }
 // destroy releases a payload the mailbox owns and will not deliver.
 func (m *Mailbox[T]) destroy(p linear.Owned[T]) {
 	m.Stats.Drops.Add(1)
+	m.rec.Record(m.actor, telemetry.EvDrop, uint64(len(m.ch)))
 	if m.release != nil {
 		if v, err := p.Into(); err == nil {
 			m.release(v)
@@ -99,7 +129,7 @@ func (m *Mailbox[T]) Send(v linear.Owned[T]) error {
 	}
 	select {
 	case m.ch <- moved:
-		m.Stats.Sends.Add(1)
+		m.noteSend()
 		return nil
 	case <-m.done:
 		m.destroy(moved)
@@ -122,7 +152,7 @@ func (m *Mailbox[T]) TrySend(v linear.Owned[T]) error {
 	}
 	select {
 	case m.ch <- moved:
-		m.Stats.Sends.Add(1)
+		m.noteSend()
 		return nil
 	case <-m.done:
 		m.destroy(moved)
@@ -141,20 +171,20 @@ func (m *Mailbox[T]) Recv() (linear.Owned[T], error) {
 	// the backlog before observing the close.
 	select {
 	case p := <-m.ch:
-		m.Stats.Recvs.Add(1)
+		m.noteRecv()
 		return p, nil
 	default:
 	}
 	select {
 	case p := <-m.ch:
-		m.Stats.Recvs.Add(1)
+		m.noteRecv()
 		return p, nil
 	case <-m.done:
 		// One more non-blocking look: a payload may have been enqueued
 		// concurrently with Close.
 		select {
 		case p := <-m.ch:
-			m.Stats.Recvs.Add(1)
+			m.noteRecv()
 			return p, nil
 		default:
 			return linear.Owned[T]{}, ErrMailboxClosed
@@ -169,20 +199,20 @@ func (m *Mailbox[T]) Recv() (linear.Owned[T], error) {
 func (m *Mailbox[T]) recv(quit <-chan struct{}) (linear.Owned[T], error) {
 	select {
 	case p := <-m.ch:
-		m.Stats.Recvs.Add(1)
+		m.noteRecv()
 		return p, nil
 	default:
 	}
 	select {
 	case p := <-m.ch:
-		m.Stats.Recvs.Add(1)
+		m.noteRecv()
 		return p, nil
 	case <-quit:
 		return linear.Owned[T]{}, errSuperseded
 	case <-m.done:
 		select {
 		case p := <-m.ch:
-			m.Stats.Recvs.Add(1)
+			m.noteRecv()
 			return p, nil
 		default:
 			return linear.Owned[T]{}, ErrMailboxClosed
@@ -194,7 +224,7 @@ func (m *Mailbox[T]) recv(quit <-chan struct{}) (linear.Owned[T], error) {
 func (m *Mailbox[T]) TryRecv() (linear.Owned[T], bool) {
 	select {
 	case p := <-m.ch:
-		m.Stats.Recvs.Add(1)
+		m.noteRecv()
 		return p, true
 	default:
 		return linear.Owned[T]{}, false

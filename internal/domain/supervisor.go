@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 )
 
 // Strategy selects which domains a restart cycle touches.
@@ -53,6 +54,28 @@ type Policy struct {
 	Tick time.Duration
 	// Seed makes backoff jitter deterministic (default 1).
 	Seed int64
+
+	// Registry, when non-nil, receives every spawned domain's counters
+	// and gauges (labeled {domain=<name>} on top of Labels), the
+	// supervisor's aggregate counters, and the sfi management plane's
+	// per-protection-domain counters. Registration happens at Spawn time
+	// only; the data path never touches the registry.
+	Registry *telemetry.Registry
+	// Labels is the base label set for every metric this supervisor
+	// registers — e.g. {worker="3"} when several supervisors share one
+	// registry.
+	Labels telemetry.Labels
+	// Recorder, when non-nil, is the flight recorder: every domain and
+	// its mailbox record lifecycle and payload-movement events into it
+	// (send, recv, drop, error, panic, hang, backoff, restart, degrade,
+	// stop). A nil recorder records nothing at zero cost.
+	Recorder *telemetry.Recorder
+	// OnDegrade, when non-nil, runs on the monitor goroutine when a
+	// domain exhausts its restart budget — degrading to its fallback or
+	// stopping for good — with a dump of the flight recorder at that
+	// moment (nil when no Recorder is configured). This is the black-box
+	// readout: the last events leading up to the failure.
+	OnDegrade func(name string, events []telemetry.Event)
 }
 
 func (p Policy) withDefaults() Policy {
@@ -108,14 +131,26 @@ type child interface {
 	setState(s State)
 }
 
-func (d *Domain[T]) currentEpoch() uint64          { return d.epoch.Load() }
-func (d *Domain[T]) pdom() *sfi.Domain             { return d.pd }
-func (d *Domain[T]) bumpStreak() uint64            { return d.faultStreak.Add(1) }
-func (d *Domain[T]) resetStreak()                  { d.faultStreak.Store(0) }
-func (d *Domain[T]) noteBackoff(b time.Duration)   { d.st.backoffNanos.Add(int64(b)) }
-func (d *Domain[T]) noteRestart()                  { d.st.restarts.Add(1) }
-func (d *Domain[T]) noteHang()                     { d.st.hangs.Add(1) }
-func (d *Domain[T]) setState(s State)              { d.state.Store(int32(s)) }
+func (d *Domain[T]) currentEpoch() uint64 { return d.epoch.Load() }
+func (d *Domain[T]) pdom() *sfi.Domain    { return d.pd }
+func (d *Domain[T]) bumpStreak() uint64   { return d.faultStreak.Add(1) }
+func (d *Domain[T]) resetStreak()         { d.faultStreak.Store(0) }
+func (d *Domain[T]) setState(s State)     { d.state.Store(int32(s)) }
+
+func (d *Domain[T]) noteBackoff(b time.Duration) {
+	d.st.backoffNanos.Add(int64(b))
+	d.rec.Record(d.actor, telemetry.EvBackoff, uint64(b))
+}
+
+func (d *Domain[T]) noteRestart() {
+	d.st.restarts.Add(1)
+	d.rec.Record(d.actor, telemetry.EvRestart, 0)
+}
+
+func (d *Domain[T]) noteHang() {
+	d.st.hangs.Add(1)
+	d.rec.Record(d.actor, telemetry.EvHang, 0)
+}
 
 func (d *Domain[T]) recoverState() error {
 	if d.recover == nil {
@@ -152,10 +187,10 @@ type Supervisor struct {
 	closed atomic.Bool
 
 	// Aggregate counters (per-domain detail lives in each Domain).
-	faults   atomic.Uint64
-	hangs    atomic.Uint64
-	restarts atomic.Uint64
-	degrades atomic.Uint64
+	faults   telemetry.Counter
+	hangs    telemetry.Counter
+	restarts telemetry.Counter
+	degrades telemetry.Counter
 }
 
 // NewSupervisor starts a supervisor with the given policy.
@@ -167,6 +202,13 @@ func NewSupervisor(p Policy) *Supervisor {
 		stop:   make(chan struct{}),
 	}
 	s.rng = rand.New(rand.NewSource(s.policy.Seed))
+	if reg := s.policy.Registry; reg != nil {
+		reg.RegisterCounter("supervisor_faults_total", s.policy.Labels, &s.faults)
+		reg.RegisterCounter("supervisor_hangs_total", s.policy.Labels, &s.hangs)
+		reg.RegisterCounter("supervisor_restarts_total", s.policy.Labels, &s.restarts)
+		reg.RegisterCounter("supervisor_degrades_total", s.policy.Labels, &s.degrades)
+		s.mgr.SetRegistry(reg, s.policy.Labels)
+	}
 	s.wg.Add(1)
 	go s.monitor()
 	return s
@@ -207,6 +249,12 @@ func Spawn[T any](s *Supervisor, cfg Config[T]) (*Domain[T], error) {
 	}
 	d.handler.Store(&handlerCell[T]{fn: cfg.Handler})
 	d.state.Store(int32(StateLive))
+	d.rec = s.policy.Recorder
+	d.actor = d.rec.Actor(cfg.Name)
+	d.inbox.Observe(d.rec, d.actor)
+	if s.policy.Registry != nil {
+		d.registerMetrics(s.policy.Registry, s.policy.Labels)
+	}
 	s.mu.Lock()
 	s.children = append(s.children, d)
 	s.mu.Unlock()
@@ -289,6 +337,13 @@ func (s *Supervisor) checkHangs(now time.Time) {
 func (s *Supervisor) applyPolicy(c child) {
 	streak := c.bumpStreak()
 	if s.policy.MaxRestarts >= 0 && streak > uint64(s.policy.MaxRestarts) {
+		// Budget exhausted: the domain leaves normal service. Dump the
+		// flight recorder first so the readout shows the events that led
+		// here, then degrade (or stop, with the degrade/stop event
+		// appended by the transition itself visible to later dumps).
+		if hook := s.policy.OnDegrade; hook != nil {
+			hook(c.Name(), s.policy.Recorder.Dump())
+		}
 		if !c.degrade() {
 			c.stop()
 			return
@@ -409,13 +464,26 @@ func (s *Supervisor) Snapshots() []Snapshot {
 	return out
 }
 
-// Snapshot aggregates every domain's counters into one Snapshot (named
-// "supervisor"; State is StateLive while any domain still serves). Like
+// Snapshot aggregates every domain's counters into one Snapshot named
+// "supervisor", under the contract documented on MergeSnapshots. Like
 // ShardedRunner.Snapshot it is a point-in-time copy of monotonic atomic
 // counters, safe to call during a live run.
 func (s *Supervisor) Snapshot() Snapshot {
-	agg := Snapshot{Name: "supervisor", State: StateStopped}
-	for _, sn := range s.Snapshots() {
+	return MergeSnapshots("supervisor", s.Snapshots())
+}
+
+// MergeSnapshots folds per-domain snapshots into one aggregate named
+// name. This is the shared merge contract for the runtime's snapshot
+// views (Supervisor.Snapshot here, ShardedRunner's RunStats merge in
+// netbricks), matching the package telemetry snapshot contract: every
+// counter is a sum of monotonic per-domain counters, each read
+// point-in-time (the aggregate is not atomic across inputs or fields);
+// MailboxDepth sums instantaneous gauges; Degraded is true if any input
+// is; State is the most-alive input state (StateLive if any domain still
+// serves, else StateStopped).
+func MergeSnapshots(name string, snaps []Snapshot) Snapshot {
+	agg := Snapshot{Name: name, State: StateStopped}
+	for _, sn := range snaps {
 		if sn.State != StateStopped {
 			agg.State = StateLive
 		}

@@ -14,11 +14,12 @@ package dpdk
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/mempool"
 	"repro/internal/packet"
+	"repro/internal/telemetry"
 )
 
 // MbufSize is the fixed buffer size of a simulated mbuf, matching DPDK's
@@ -90,18 +91,20 @@ func (g *ZipfFlows) NextSpec(spec *packet.BuildSpec) {
 	spec.Tuple.SrcPort += uint16(i % 50000)
 }
 
-// PortStats holds cumulative port counters.
+// PortStats holds cumulative port counters — telemetry cells, written
+// on the data path with uncontended atomic adds and readable by a
+// metrics scrape at any time.
 type PortStats struct {
-	RxPackets atomic.Uint64
-	RxBytes   atomic.Uint64
-	TxPackets atomic.Uint64
-	TxBytes   atomic.Uint64
-	AllocFail atomic.Uint64
+	RxPackets telemetry.Counter
+	RxBytes   telemetry.Counter
+	TxPackets telemetry.Counter
+	TxBytes   telemetry.Counter
+	AllocFail telemetry.Counter
 	// RxMissed counts packets the steering path dropped because the
 	// destination queue's descriptor ring was full (the rx_missed
 	// counter of real NICs): the owning worker was not draining fast
 	// enough.
-	RxMissed atomic.Uint64
+	RxMissed telemetry.Counter
 }
 
 // Port is a simulated poll-mode NIC port with one or more receive
@@ -231,6 +234,35 @@ func (p *Port) Free(pkts []*packet.Packet) {
 	for _, pkt := range pkts {
 		if pkt != nil {
 			p.pool.Put(pkt)
+		}
+	}
+}
+
+// RegisterMetrics exports the port's counters, its mempool, and every
+// receive queue's cache (and, in steered mode, descriptor-ring depth)
+// on reg. base labels every series; queues add a "queue" label. Gauges
+// that need the queue lock take it at scrape time only.
+func (p *Port) RegisterMetrics(reg *telemetry.Registry, base telemetry.Labels) {
+	reg.RegisterCounter("port_rx_packets_total", base, &p.Stats.RxPackets)
+	reg.RegisterCounter("port_rx_bytes_total", base, &p.Stats.RxBytes)
+	reg.RegisterCounter("port_tx_packets_total", base, &p.Stats.TxPackets)
+	reg.RegisterCounter("port_tx_bytes_total", base, &p.Stats.TxBytes)
+	reg.RegisterCounter("port_alloc_fail_total", base, &p.Stats.AllocFail)
+	reg.RegisterCounter("port_rx_missed_total", base, &p.Stats.RxMissed)
+	p.pool.RegisterMetrics(reg, base)
+	for q, rq := range p.queues {
+		rq := rq
+		labels := base.With("queue", strconv.Itoa(q))
+		rq.cache.RegisterMetrics(reg, labels, func() float64 {
+			rq.mu.Lock()
+			defer rq.mu.Unlock()
+			return float64(rq.cache.Len())
+		})
+		if rq.ring != nil {
+			ring := rq.ring
+			reg.RegisterGaugeFunc("port_rx_ring_depth", labels, func() float64 {
+				return float64(ring.Len())
+			})
 		}
 	}
 }

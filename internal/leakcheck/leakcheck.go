@@ -14,7 +14,10 @@
 // drains.
 package leakcheck
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // Pool records avail()'s current value and, when the test ends, fails it
 // if the value has not returned to that baseline. name labels the pool
@@ -28,4 +31,53 @@ func Pool(t testing.TB, name string, avail func() int) {
 				name, got, initial, initial-got)
 		}
 	})
+}
+
+// NoPointers fails the test if v's type can reach a pointer — through
+// struct fields, arrays, or embedded types. It is the static half of the
+// pool-conservation argument for always-on instrumentation: a telemetry
+// cell or flight-recorder slot whose type cannot hold a pointer can
+// never pin a linear.Owned payload (or anything else) against the GC,
+// no matter what the runtime records into it.
+func NoPointers(t testing.TB, name string, v any) {
+	t.Helper()
+	typ := reflect.TypeOf(v)
+	if typ == nil {
+		t.Fatalf("leakcheck: %s: nil interface has no type", name)
+		return
+	}
+	if path := pointerPath(typ, name, map[reflect.Type]bool{}); path != "" {
+		t.Errorf("leakcheck: %s: pointer-bearing field at %s — this type can pin heap objects",
+			name, path)
+	}
+}
+
+// pointerPath returns the path to the first pointer-bearing leaf of t,
+// or "" when the type is pointer-free.
+func pointerPath(t reflect.Type, path string, seen map[reflect.Type]bool) string {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128:
+		return ""
+	case reflect.Array:
+		return pointerPath(t.Elem(), path+"[]", seen)
+	case reflect.Struct:
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if p := pointerPath(f.Type, path+"."+f.Name, seen); p != "" {
+				return p
+			}
+		}
+		return ""
+	default:
+		// Ptr, Slice, Map, Chan, String, Interface, Func, UnsafePointer.
+		return path + " (" + t.Kind().String() + ")"
+	}
 }

@@ -1,5 +1,7 @@
 package mempool
 
+import "repro/internal/telemetry"
+
 // Cache is a per-worker front for a shared Pool, modeled on DPDK's
 // per-lcore mempool cache: a local free list that absorbs Get/Put
 // traffic and only touches the shared pool in bursts (refilling when
@@ -7,18 +9,20 @@ package mempool
 // frees without taking the pool lock at all, which is what keeps the
 // sharded pipeline runtime contention-free per packet.
 //
-// A Cache is deliberately unsynchronized — it belongs to exactly one
-// worker, the same single-owner discipline as sfi.Context. Sharing one
-// across goroutines is a bug the race detector will flag.
+// The free list is deliberately unsynchronized — it belongs to exactly
+// one worker, the same single-owner discipline as sfi.Context. Sharing
+// one across goroutines is a bug the race detector will flag. The
+// counters, by contrast, are telemetry cells (uncontended atomics) so a
+// metrics scrape can read refill/spill behavior while the owner runs.
 type Cache[T any] struct {
 	pool  *Pool[T]
 	local []*T
 	size  int // high-water mark; refills and spills move size/2 at a time
 
-	gets    uint64
-	puts    uint64
-	refills uint64
-	spills  uint64
+	gets    telemetry.Counter
+	puts    telemetry.Counter
+	refills telemetry.Counter
+	spills  telemetry.Counter
 }
 
 // DefaultCacheSize mirrors DPDK's customary per-lcore cache of 256
@@ -53,7 +57,7 @@ func (c *Cache[T]) Get() (*T, error) {
 		c.local = c.local[:want]
 		n := c.pool.GetBurst(c.local)
 		c.local = c.local[:n]
-		c.refills++
+		c.refills.Inc()
 		if n == 0 {
 			return nil, ErrExhausted
 		}
@@ -62,7 +66,7 @@ func (c *Cache[T]) Get() (*T, error) {
 	obj := c.local[n]
 	c.local[n] = nil
 	c.local = c.local[:n]
-	c.gets++
+	c.gets.Inc()
 	return obj, nil
 }
 
@@ -79,10 +83,10 @@ func (c *Cache[T]) Put(obj *T) {
 			c.local[i] = nil
 		}
 		c.local = c.local[:keep]
-		c.spills++
+		c.spills.Inc()
 	}
 	c.local = append(c.local, obj)
-	c.puts++
+	c.puts.Inc()
 }
 
 // Flush returns every locally cached object to the shared pool. Call on
@@ -105,5 +109,19 @@ func (c *Cache[T]) Size() int { return c.size }
 // refill/spill bursts against the shared pool; (gets+puts) much greater
 // than (refills+spills) is the contention-avoidance working.
 func (c *Cache[T]) Stats() (gets, puts, refills, spills uint64) {
-	return c.gets, c.puts, c.refills, c.spills
+	return c.gets.Load(), c.puts.Load(), c.refills.Load(), c.spills.Load()
+}
+
+// RegisterMetrics exports the cache's counters and occupancy on reg
+// under the given labels. The occupancy gauge reads the single-owner
+// free list; callers whose cache is guarded by a queue lock (dpdk's
+// rxQueue) should pass a depth func that takes it.
+func (c *Cache[T]) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Labels, depth func() float64) {
+	reg.RegisterCounter("cache_gets_total", labels, &c.gets)
+	reg.RegisterCounter("cache_puts_total", labels, &c.puts)
+	reg.RegisterCounter("cache_refills_total", labels, &c.refills)
+	reg.RegisterCounter("cache_spills_total", labels, &c.spills)
+	if depth != nil {
+		reg.RegisterGaugeFunc("cache_len", labels, depth)
+	}
 }

@@ -11,7 +11,8 @@ package mempool
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Errors returned by pool and ring operations.
@@ -29,9 +30,9 @@ type Pool[T any] struct {
 	alloc func() *T
 	cap   int
 
-	gets   atomic.Uint64
-	puts   atomic.Uint64
-	misses atomic.Uint64
+	gets   telemetry.Counter
+	puts   telemetry.Counter
+	misses telemetry.Counter
 }
 
 // NewPool preallocates capacity objects using alloc.
@@ -141,6 +142,18 @@ func (p *Pool[T]) Capacity() int { return p.cap }
 // Stats reports cumulative gets, puts, and allocation misses.
 func (p *Pool[T]) Stats() (gets, puts, misses uint64) {
 	return p.gets.Load(), p.puts.Load(), p.misses.Load()
+}
+
+// RegisterMetrics exports the pool's counters and occupancy on reg
+// under the given labels: pool_{gets,puts,misses}_total counters plus
+// pool_available/pool_capacity gauges. The occupancy gauge takes the
+// pool lock at scrape time only; the hot path is untouched.
+func (p *Pool[T]) RegisterMetrics(reg *telemetry.Registry, labels telemetry.Labels) {
+	reg.RegisterCounter("pool_gets_total", labels, &p.gets)
+	reg.RegisterCounter("pool_puts_total", labels, &p.puts)
+	reg.RegisterCounter("pool_misses_total", labels, &p.misses)
+	reg.RegisterGaugeFunc("pool_available", labels, func() float64 { return float64(p.Available()) })
+	reg.RegisterGaugeFunc("pool_capacity", labels, func() float64 { return float64(p.Capacity()) })
 }
 
 // Ring is a bounded FIFO of descriptors, modeled on rte_ring. This

@@ -113,8 +113,8 @@ func TestChaosSupervisedPipeline(t *testing.T) {
 	var violations atomic.Uint64
 	r := &netbricks.ShardedRunner{
 		Port: port, Workers: workers, BatchSize: batchSize,
-		NewIsolated: chaosPipeline(t, inj, &violations),
-		Supervise:   true,
+		NewIsolated:  chaosPipeline(t, inj, &violations),
+		Supervise:    true,
 		MailboxDepth: 2, // keeps the inbox under pressure through restarts
 		Policy: domain.Policy{
 			Backoff:     20 * time.Microsecond,

@@ -293,6 +293,20 @@ type RunStats struct {
 	Recovered int
 }
 
+// Merge adds o's counters into s. This is the shared aggregation helper
+// behind every multi-worker stats view (ShardedRunner.Snapshot and Run,
+// Runner.RunParallel), the RunStats counterpart of
+// domain.MergeSnapshots: each input is a point-in-time copy of monotonic
+// per-worker counters, so the merged total is safe to take during a live
+// run but not atomic across workers or fields.
+func (s *RunStats) Merge(o RunStats) {
+	s.Batches += o.Batches
+	s.Packets += o.Packets
+	s.Drops += o.Drops
+	s.Faults += o.Faults
+	s.Recovered += o.Recovered
+}
+
 // Runner drives a port through a pipeline run-to-completion: fetch a
 // batch, process it fully, transmit, repeat — the paper's execution model
 // ("processes the batch to completion before starting the next batch").
@@ -333,11 +347,7 @@ func (r *Runner) RunParallel(workers, n int, mkPort func(worker int) *dpdk.Port)
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		res := <-results
-		agg.Batches += res.stats.Batches
-		agg.Packets += res.stats.Packets
-		agg.Drops += res.stats.Drops
-		agg.Faults += res.stats.Faults
-		agg.Recovered += res.stats.Recovered
+		agg.Merge(res.stats)
 		if res.err != nil && firstErr == nil {
 			firstErr = res.err
 		}

@@ -19,28 +19,45 @@ package netbricks
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/domain"
 	"repro/internal/dpdk"
 	"repro/internal/linear"
 	"repro/internal/packet"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
 )
 
-// WorkerStats holds one worker's counters. Fields are atomic so harnesses
-// can read them while the run is live; each cell is written by exactly
-// one worker.
+// WorkerStats holds one worker's counters — telemetry cells, so
+// harnesses and metric scrapes can read them while the run is live; each
+// cell is written by exactly one worker.
 type WorkerStats struct {
-	Batches   atomic.Uint64
-	Packets   atomic.Uint64
-	Drops     atomic.Uint64
-	Faults    atomic.Uint64
-	Recovered atomic.Uint64
+	Batches   telemetry.Counter
+	Packets   telemetry.Counter
+	Drops     telemetry.Counter
+	Faults    telemetry.Counter
+	Recovered telemetry.Counter
 	// IdlePolls counts receive polls that returned no packets (steered
 	// mode back-pressure, or an empty RSS partition).
-	IdlePolls atomic.Uint64
+	IdlePolls telemetry.Counter
+	// Latency is the per-batch pipeline latency histogram: the time one
+	// Process invocation took, faulted or not, measured at the worker.
+	Latency telemetry.Histogram
+}
+
+// register exports the worker's counters and latency histogram on reg.
+func (w *WorkerStats) register(reg *telemetry.Registry, labels telemetry.Labels) {
+	reg.RegisterCounter("worker_batches_total", labels, &w.Batches)
+	reg.RegisterCounter("worker_packets_total", labels, &w.Packets)
+	reg.RegisterCounter("worker_drops_total", labels, &w.Drops)
+	reg.RegisterCounter("worker_faults_total", labels, &w.Faults)
+	reg.RegisterCounter("worker_recovered_total", labels, &w.Recovered)
+	reg.RegisterCounter("worker_idle_polls_total", labels, &w.IdlePolls)
+	reg.RegisterHistogram("worker_batch_latency_seconds", labels, &w.Latency)
 }
 
 // Snapshot converts the counters into a RunStats.
@@ -90,6 +107,13 @@ type ShardedRunner struct {
 	// supervised mode (default 4).
 	MailboxDepth int
 
+	// Registry, when non-nil, receives every worker's counters and batch
+	// latency histogram at Run time (labels {worker=<n>}); in supervised
+	// mode it also becomes the supervisor's registry (unless Policy
+	// already names one), so domain, mailbox, and sfi metrics land on the
+	// same registry. Re-running replaces the previous run's series.
+	Registry *telemetry.Registry
+
 	stats []*WorkerStats
 	sup   atomic.Pointer[domain.Supervisor]
 }
@@ -104,18 +128,15 @@ func (r *ShardedRunner) WorkerSnapshots() []RunStats {
 	return out
 }
 
-// Snapshot aggregates the per-worker counters into one RunStats, with
-// the same semantics as domain.Supervisor.Snapshot: a point-in-time copy
-// of monotonically increasing atomics, safe to take while a run is live,
-// never blocking the hot path.
+// Snapshot aggregates the per-worker counters into one RunStats via
+// RunStats.Merge, with the same semantics as domain.Supervisor.Snapshot
+// (see domain.MergeSnapshots): a point-in-time copy of monotonically
+// increasing atomics, safe to take while a run is live, never blocking
+// the hot path.
 func (r *ShardedRunner) Snapshot() RunStats {
 	var agg RunStats
 	for _, s := range r.WorkerSnapshots() {
-		agg.Batches += s.Batches
-		agg.Packets += s.Packets
-		agg.Drops += s.Drops
-		agg.Faults += s.Faults
-		agg.Recovered += s.Recovered
+		agg.Merge(s)
 	}
 	return agg
 }
@@ -143,6 +164,9 @@ func (r *ShardedRunner) Run(n int) (RunStats, error) {
 	r.stats = make([]*WorkerStats, r.Workers)
 	for w := range r.stats {
 		r.stats[w] = &WorkerStats{}
+		if r.Registry != nil {
+			r.stats[w].register(r.Registry, telemetry.Labels{"worker": strconv.Itoa(w)})
+		}
 	}
 	if r.Supervise {
 		return r.runSupervised(n)
@@ -160,12 +184,7 @@ func (r *ShardedRunner) Run(n int) (RunStats, error) {
 	r.Port.Drain()
 	var agg RunStats
 	for _, ws := range r.stats {
-		s := ws.Snapshot()
-		agg.Batches += s.Batches
-		agg.Packets += s.Packets
-		agg.Drops += s.Drops
-		agg.Faults += s.Faults
-		agg.Recovered += s.Recovered
+		agg.Merge(ws.Snapshot())
 	}
 	return agg, errors.Join(errs...)
 }
@@ -202,11 +221,13 @@ func (r *ShardedRunner) runWorker(w, n int) error {
 		batch := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
 		owned := linear.New(batch)
 		var err error
+		start := time.Now()
 		if direct != nil {
 			owned, err = direct.Process(owned)
 		} else {
 			owned, err = isolated.Process(ctx, owned)
 		}
+		ws.Latency.ObserveNanos(int64(time.Since(start)))
 		if err != nil {
 			ws.Faults.Add(1)
 			r.Port.FreeQueue(w, buf[:got])

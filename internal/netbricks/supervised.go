@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/domain"
 	"repro/internal/linear"
@@ -32,7 +33,11 @@ import (
 // domain plus one feeder per worker, wait for the feeders to exhaust
 // their batch budget and the domains to drain, then settle the pool.
 func (r *ShardedRunner) runSupervised(n int) (RunStats, error) {
-	sup := domain.NewSupervisor(r.Policy)
+	pol := r.Policy
+	if pol.Registry == nil {
+		pol.Registry = r.Registry
+	}
+	sup := domain.NewSupervisor(pol)
 	defer sup.Close()
 	r.sup.Store(sup)
 
@@ -107,11 +112,13 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 		}()
 		var out linear.Owned[*Batch]
 		var err error
+		start := time.Now()
 		if isolated != nil {
 			out, err = isolated.Process(c.SFI, msg)
 		} else {
 			out, err = direct.Load().Process(msg)
 		}
+		ws.Latency.ObserveNanos(int64(time.Since(start)))
 		if err != nil {
 			ws.Faults.Add(1)
 			if out.Valid() {

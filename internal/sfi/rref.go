@@ -141,6 +141,7 @@ func (r *RRef[T]) acquire() (linear.Rc[T], Interceptor, error) {
 			return rc, ic, nil
 		}
 		// Stale binding pinned alive by an in-flight call; fall through.
+		r.dom.Stats.Stale.Add(1)
 		_ = rc.Drop()
 	}
 	// Slow path: the proxy died (revocation, fault, or recovery) or its

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Errors returned by domain and remote-reference operations.
@@ -69,18 +71,38 @@ const (
 	stateDead
 )
 
-// Stats holds per-domain counters, updated atomically.
+// Stats holds per-domain counters — telemetry cells updated with
+// uncontended atomic adds on the invocation path.
 type Stats struct {
-	Calls       atomic.Uint64 // remote invocations entered
-	Faults      atomic.Uint64 // panics caught at the boundary
-	Recoveries  atomic.Uint64 // successful recovery runs
-	Revocations atomic.Uint64 // entries revoked (individually or by teardown)
-	Exports     atomic.Uint64 // objects exported into the table
+	Calls       telemetry.Counter // remote invocations entered
+	Faults      telemetry.Counter // panics caught at the boundary
+	Recoveries  telemetry.Counter // successful recovery runs
+	Revocations telemetry.Counter // entries revoked (individually or by teardown)
+	Exports     telemetry.Counter // objects exported into the table
+	// Stale counts invocations refused because their binding was minted
+	// under an older teardown generation — the in-flight-call-pins-
+	// revoked-proxy case the generation stamp exists to catch.
+	Stale telemetry.Counter
 }
 
-// Snapshot returns a plain-value copy of the counters.
+// Snapshot returns a plain-value copy of the counters (per the
+// telemetry snapshot contract: each field exact, the set not an atomic
+// cut).
 func (s *Stats) Snapshot() (calls, faults, recoveries, revocations, exports uint64) {
 	return s.Calls.Load(), s.Faults.Load(), s.Recoveries.Load(), s.Revocations.Load(), s.Exports.Load()
+}
+
+// registerMetrics exports the domain's counters on reg, labeled with
+// the domain name over base.
+func (d *Domain) registerMetrics(reg *telemetry.Registry, base telemetry.Labels) {
+	labels := base.With("domain", d.name)
+	reg.RegisterCounter("sfi_calls_total", labels, &d.Stats.Calls)
+	reg.RegisterCounter("sfi_faults_total", labels, &d.Stats.Faults)
+	reg.RegisterCounter("sfi_recoveries_total", labels, &d.Stats.Recoveries)
+	reg.RegisterCounter("sfi_revocations_total", labels, &d.Stats.Revocations)
+	reg.RegisterCounter("sfi_exports_total", labels, &d.Stats.Exports)
+	reg.RegisterCounter("sfi_stale_refusals_total", labels, &d.Stats.Stale)
+	reg.RegisterGaugeFunc("sfi_table_size", labels, func() float64 { return float64(d.TableSize()) })
 }
 
 // tableEntry is one slot of a domain's reference table. handle holds the
@@ -272,6 +294,27 @@ type Manager struct {
 	mu      sync.RWMutex
 	domains map[DomainID]*Domain
 	nextID  uint32
+	reg     *telemetry.Registry
+	regBase telemetry.Labels
+}
+
+// SetRegistry makes the manager export every domain's counters on reg,
+// labeled {"domain": name} over base. Existing domains are registered
+// immediately; domains created later register at creation. base
+// disambiguates managers sharing one registry (e.g. per-worker isolated
+// pipelines pass {"worker": n}).
+func (m *Manager) SetRegistry(reg *telemetry.Registry, base telemetry.Labels) {
+	m.mu.Lock()
+	m.reg = reg
+	m.regBase = base
+	doms := make([]*Domain, 0, len(m.domains))
+	for _, d := range m.domains {
+		doms = append(doms, d)
+	}
+	m.mu.Unlock()
+	for _, d := range doms {
+		d.registerMetrics(reg, base)
+	}
 }
 
 // NewManager creates an empty management plane.
@@ -282,7 +325,6 @@ func NewManager() *Manager {
 // NewDomain creates a live protection domain.
 func (m *Manager) NewDomain(name string) *Domain {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.nextID++
 	d := &Domain{
 		id:    DomainID(m.nextID),
@@ -292,6 +334,11 @@ func (m *Manager) NewDomain(name string) *Domain {
 	}
 	d.state.Store(int32(stateLive))
 	m.domains[d.id] = d
+	reg, base := m.reg, m.regBase
+	m.mu.Unlock()
+	if reg != nil {
+		d.registerMetrics(reg, base)
+	}
 	return d
 }
 

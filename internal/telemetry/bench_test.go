@@ -1,0 +1,96 @@
+package telemetry
+
+// Telemetry-overhead benchmarks: the cost the instrumentation adds to
+// the data plane, per op. `make bench` records these in
+// BENCH_telemetry.json; every record-path benchmark must report
+// 0 allocs/op (also enforced by TestRecordPathZeroAlloc).
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkTelemetryCounter(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkTelemetryCounterParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkTelemetryGauge(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	var h Histogram
+	d := 137 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(d)
+	}
+}
+
+func BenchmarkTelemetryHistogramParallel(b *testing.B) {
+	var h Histogram
+	d := 137 * time.Microsecond
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}
+
+func BenchmarkTelemetryRecorder(b *testing.B) {
+	rec := NewRecorder(4096)
+	actor := rec.Actor("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(actor, EvSend, uint64(i))
+	}
+}
+
+func BenchmarkTelemetryRecorderParallel(b *testing.B) {
+	rec := NewRecorder(4096)
+	actor := rec.Actor("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec.Record(actor, EvRecv, 1)
+		}
+	})
+}
+
+// BenchmarkTelemetryScrape is the read path for contrast: it may lock
+// and allocate, and its cost lands on the scraper, not the data plane.
+func BenchmarkTelemetryScrape(b *testing.B) {
+	reg := NewRegistry()
+	var cs [16]Counter
+	var hs [4]Histogram
+	for i := range cs {
+		reg.RegisterCounter("c_total", Labels{"i": string(rune('a' + i))}, &cs[i])
+	}
+	for i := range hs {
+		hs[i].Observe(time.Millisecond)
+		reg.RegisterHistogram("h_seconds", Labels{"i": string(rune('a' + i))}, &hs[i])
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Snapshot()
+	}
+}

@@ -1,0 +1,19 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestRecorderSlotPinsNothing asserts, structurally, that the flight
+// recorder cannot retain payloads: a ring slot's type has no
+// pointer-bearing field, so nothing a Record call stores can keep a
+// linear.Owned payload (or any heap object) alive. Actor names are
+// interned to integer IDs precisely to preserve this property.
+func TestRecorderSlotPinsNothing(t *testing.T) {
+	leakcheck.NoPointers(t, "telemetry.slot", slot{})
+	leakcheck.NoPointers(t, "telemetry.Counter", Counter{})
+	leakcheck.NoPointers(t, "telemetry.Gauge", Gauge{})
+	leakcheck.NoPointers(t, "telemetry.Histogram", Histogram{})
+}

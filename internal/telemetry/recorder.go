@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event. The set mirrors the
+// lifecycle of a supervised protection domain: payload movement through
+// mailboxes, the fault taxonomy (error, panic, heartbeat-miss), and the
+// supervisor's responses (backoff, restart, degrade, stop).
+type EventKind uint32
+
+// Flight-recorder event kinds. Arg carries the per-kind detail noted on
+// each constant.
+const (
+	// EvSend: a payload entered a mailbox. Arg = queue depth after.
+	EvSend EventKind = iota + 1
+	// EvRecv: a payload left a mailbox. Arg = queue depth after.
+	EvRecv
+	// EvDrop: a mailbox destroyed a payload (tail drop or closed).
+	EvDrop
+	// EvError: a handler returned an error. Arg = consecutive-fault streak.
+	EvError
+	// EvPanic: a handler panic was caught at the entry point.
+	EvPanic
+	// EvHang: the supervisor declared a heartbeat miss.
+	EvHang
+	// EvBackoff: a restart was scheduled. Arg = backoff nanoseconds.
+	EvBackoff
+	// EvRestart: a restart completed and the domain serves again.
+	EvRestart
+	// EvDegrade: the restart budget ran out; fallback handler installed.
+	EvDegrade
+	// EvStop: the domain stopped for good.
+	EvStop
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvDrop:
+		return "drop"
+	case EvError:
+		return "error"
+	case EvPanic:
+		return "panic"
+	case EvHang:
+		return "hang"
+	case EvBackoff:
+		return "backoff"
+	case EvRestart:
+		return "restart"
+	case EvDegrade:
+		return "degrade"
+	case EvStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("kind(%d)", uint32(k))
+	}
+}
+
+// ActorID names an event source (a domain, a mailbox) inside a Recorder.
+// IDs are interned once at spawn time so the record path stores a
+// four-byte index instead of a string — the ring holds no pointers and
+// can never pin a payload, a name, or anything else against the GC.
+type ActorID uint32
+
+// slot is one ring entry. Every field is an atomic cell: recording and
+// dumping are race-free by construction, and the slot is pointer-free
+// (leakcheck.NoPointers asserts this), so a recorded event can never
+// retain a linear.Owned payload that crashed mid-flight.
+type slot struct {
+	seq   atomic.Uint64 // 1-based claim position; 0 = empty or being written
+	nanos atomic.Int64  // unix nanoseconds
+	actor atomic.Uint32
+	kind  atomic.Uint32
+	arg   atomic.Uint64
+}
+
+// Event is the dump-side, reader-friendly form of one recorded event.
+type Event struct {
+	Seq   uint64    // global sequence number (1-based, monotonic)
+	Time  time.Time //
+	Actor string    // interned actor name ("?" for the zero ActorID)
+	Kind  EventKind
+	Arg   uint64 // per-kind detail; see the EventKind constants
+}
+
+// String renders one event for a dump listing.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s %s arg=%d",
+		e.Seq, e.Time.Format("15:04:05.000000"), e.Actor, e.Kind, e.Arg)
+}
+
+// Recorder is a fixed-size ring buffer of the last N events — the
+// flight recorder. Record is lock-free and allocation-free: claim a slot
+// with one atomic add, fill its atomic cells, publish by storing the
+// claim sequence. Dump reads concurrently with writers and discards
+// slots it observes mid-write; under extreme wrap pressure (a writer
+// lapping the ring during another writer's store sequence) an event can
+// surface with mixed fields, which is the classic flight-recorder
+// trade: the record path must never wait.
+//
+// A nil *Recorder is valid: Record and Actor become no-ops, so layers
+// instrument unconditionally.
+type Recorder struct {
+	slots  []slot
+	mask   uint64
+	cursor atomic.Uint64
+
+	mu     sync.Mutex
+	actors []string
+}
+
+// NewRecorder creates a recorder holding the last n events (rounded up
+// to a power of two, minimum 16).
+func NewRecorder(n int) *Recorder {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &Recorder{slots: make([]slot, size), mask: uint64(size - 1)}
+}
+
+// Cap reports the ring capacity in events.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Actor interns name and returns its ID, reusing the ID of an
+// already-interned name. Call at spawn time, never on the record path.
+func (r *Recorder) Actor(name string) ActorID {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, a := range r.actors {
+		if a == name {
+			return ActorID(i + 1)
+		}
+	}
+	r.actors = append(r.actors, name)
+	return ActorID(len(r.actors))
+}
+
+// Record appends one event to the ring, overwriting the oldest. Safe
+// for concurrent use; 0 allocs/op.
+func (r *Recorder) Record(a ActorID, k EventKind, arg uint64) {
+	if r == nil {
+		return
+	}
+	pos := r.cursor.Add(1) // 1-based claim
+	s := &r.slots[(pos-1)&r.mask]
+	s.seq.Store(0) // invalidate for concurrent readers
+	s.nanos.Store(time.Now().UnixNano())
+	s.actor.Store(uint32(a))
+	s.kind.Store(uint32(k))
+	s.arg.Store(arg)
+	s.seq.Store(pos)
+}
+
+// Len reports how many events are currently dumpable (at most Cap).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Dump returns the recorded events in sequence order, oldest first.
+// Slots observed mid-write (a concurrent Record) are skipped. Dump
+// allocates; it is a fault-path/scrape-path operation.
+func (r *Recorder) Dump() []Event {
+	if r == nil {
+		return nil
+	}
+	head := r.cursor.Load()
+	start := uint64(1)
+	if n := uint64(len(r.slots)); head > n {
+		start = head - n + 1
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.actors...)
+	r.mu.Unlock()
+	out := make([]Event, 0, head-start+1)
+	for pos := start; pos <= head; pos++ {
+		s := &r.slots[(pos-1)&r.mask]
+		if s.seq.Load() != pos {
+			continue // overwritten or mid-write
+		}
+		ev := Event{
+			Seq:   pos,
+			Time:  time.Unix(0, s.nanos.Load()),
+			Kind:  EventKind(s.kind.Load()),
+			Arg:   s.arg.Load(),
+			Actor: "?",
+		}
+		if id := s.actor.Load(); id >= 1 && int(id) <= len(names) {
+			ev.Actor = names[id-1]
+		}
+		if s.seq.Load() != pos {
+			continue // overwritten while reading
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Handler serves the recorder dump as a text listing, newest last.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		for _, ev := range r.Dump() {
+			fmt.Fprintln(w, ev)
+		}
+	})
+}
