@@ -2,17 +2,20 @@ GO ?= go
 
 # Packages whose concurrency is load-bearing: the sharded runtime, the
 # supervised protection-domain runtime and its chaos harness, the pool
-# caches under them, the linear-ownership cells that make it safe, and
-# the telemetry core every one of them records into.
-RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry
+# caches under them, the linear-ownership cells that make it safe, the
+# telemetry core every one of them records into, and both port
+# implementations (the simulated NIC's steered distributor and the
+# socket-backed port's receive loop).
+RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry ./internal/netport ./internal/dpdk
 
 # Per-benchmark time for the JSON bench run; raise for stabler numbers.
 BENCHTIME ?= 0.5s
 
-.PHONY: check build test race race-all vet guard-atomics fuzz bench bench-all
+.PHONY: check build test test-e2e race race-all vet guard-atomics fuzz bench bench-all
 
-## check: the PR gate — vet, build, full tests, race tier, atomics guard.
-check: vet build test race guard-atomics
+## check: the PR gate — vet, build, full tests, race tier, e2e tier,
+## atomics guard.
+check: vet build test race test-e2e guard-atomics
 
 ## guard-atomics: hot-path counters must be typed atomic cells
 ## (atomic.Uint64 / telemetry.Counter), never raw integers passed to the
@@ -36,6 +39,13 @@ build:
 test:
 	$(GO) test ./...
 
+## test-e2e: the loopback end-to-end tier — real UDP sockets, pktgen,
+## and the supervised pipeline, under a generous timeout. These tests
+## skip themselves under -short, so a plain `go test -short ./...` stays
+## socket-free.
+test-e2e:
+	$(GO) test -timeout 120s -run 'TestE2E|TestChaosSupervisedPipeline' ./internal/netport ./internal/netbricks
+
 ## race: race-detector pass over the concurrency-bearing packages.
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -49,6 +59,7 @@ race-all:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParsePacket -fuzztime=10s ./internal/packet
 	$(GO) test -run='^$$' -fuzz=FuzzMailboxOwnership -fuzztime=10s ./internal/domain
+	$(GO) test -run='^$$' -fuzz=FuzzNetportDecode -fuzztime=10s ./internal/netport
 
 ## bench: the pipeline throughput benches (direct/isolated/sharded/
 ## supervised, steady and faulting), recorded machine-readably in
@@ -58,6 +69,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -o BENCH_pipeline.json
 	$(GO) test -run='^$$' -bench='Telemetry' -benchmem -benchtime=$(BENCHTIME) ./internal/telemetry \
 		| $(GO) run ./cmd/benchjson -out BENCH_telemetry.json
+	$(GO) test -run='^$$' -bench='NetportLoopback' -benchtime=$(BENCHTIME) ./internal/netport \
+		| $(GO) run ./cmd/benchjson -out BENCH_netport.json
 
 ## bench-all: the full testing.B harness (human-readable only).
 bench-all:

@@ -15,6 +15,14 @@
 //	                                     # chaos: 5% of batches panic
 //	nf-pipeline -metrics-addr :9090 -supervise -crashrate 0.05
 //	                                     # live /metrics + flight recorder
+//
+// Real traffic over loopback (two terminals):
+//
+//	nf-pipeline -listen 127.0.0.1:9000 -workers 4 -supervise
+//	                                     # socket-backed port instead of the
+//	                                     # simulated NIC; -egress to forward
+//	nf-pipeline -target 127.0.0.1:9000 -pps 100000 -duration 10s
+//	                                     # pktgen: drive the listener
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"repro/internal/firewall"
 	"repro/internal/maglev"
 	"repro/internal/netbricks"
+	"repro/internal/netport"
 	"repro/internal/packet"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
@@ -76,8 +85,20 @@ func main() {
 
 		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/flightrecorder on this address (e.g. :9090)")
 		statsInterval = flag.Duration("stats-interval", 0, "log a JSON metrics snapshot at this interval (0 = off)")
+
+		listen = flag.String("listen", "", "receive real overlay traffic on this UDP address (socket-backed port instead of the simulated NIC)")
+		egress = flag.String("egress", "", "with -listen: forward transmitted frames to this UDP address (default: count and recycle)")
+
+		target   = flag.String("target", "", "pktgen mode: send synthetic overlay traffic to this UDP address and exit")
+		pps      = flag.Int("pps", 100000, "pktgen: offered load in packets per second (0 = unpaced)")
+		count    = flag.Int("count", 0, "pktgen: datagrams to send (0 = send for -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "pktgen: how long to send when -count is 0")
 	)
 	flag.Parse()
+	if *target != "" {
+		runPktgen(*target, *pps, *count, *duration, *flows)
+		return
+	}
 	if *workers < 1 {
 		log.Fatal("-workers must be >= 1")
 	}
@@ -140,14 +161,40 @@ func main() {
 		ringSize = 128
 	}
 	cacheSize := *size
-	port := dpdk.NewPort(dpdk.Config{
-		PoolSize:   *workers*(ringSize+cacheSize+*size) + 256,
-		RxQueues:   *workers,
-		RxRingSize: ringSize,
-		CacheSize:  cacheSize,
-		Gen:        dpdk.NewZipfFlows(dpdk.DefaultSpec(), *flows, 1.3, 42),
-	})
-	port.RegisterMetrics(reg, telemetry.Labels{"port": "0"})
+	var port netbricks.BurstPort
+	var simPort *dpdk.Port
+	var sockPort *netport.Port
+	if *listen != "" {
+		var nerr error
+		sockPort, nerr = netport.Open(netport.Config{
+			Listen:    *listen,
+			Queues:    *workers,
+			RingSize:  ringSize,
+			CacheSize: cacheSize,
+			// A generous poll grace: the run ends 8 idle polls (~800ms)
+			// after the wire goes quiet, not mid-burst.
+			PollWait: 100 * time.Millisecond,
+			TxTarget: *egress,
+			Recorder: rec,
+		})
+		if nerr != nil {
+			log.Fatal(nerr)
+		}
+		defer sockPort.Close()
+		sockPort.RegisterMetrics(reg, telemetry.Labels{"port": "net0"})
+		log.Printf("listening for overlay traffic on %s (%d rx queues)", sockPort.Addr(), *workers)
+		port = sockPort
+	} else {
+		simPort = dpdk.NewPort(dpdk.Config{
+			PoolSize:   *workers*(ringSize+cacheSize+*size) + 256,
+			RxQueues:   *workers,
+			RxRingSize: ringSize,
+			CacheSize:  cacheSize,
+			Gen:        dpdk.NewZipfFlows(dpdk.DefaultSpec(), *flows, 1.3, 42),
+		})
+		simPort.RegisterMetrics(reg, telemetry.Labels{"port": "0"})
+		port = simPort
+	}
 	db := firewall.NewDB(firewall.Deny)
 	// Admit the synthetic service prefix; everything else drops.
 	if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow, Comment: "service"}); err != nil {
@@ -284,6 +331,46 @@ func main() {
 		conns += lb.ConnCount()
 	}
 	fmt.Printf("maglev:     %d tracked connections, %d table hits, %d new flows\n", conns, hits, misses)
-	fmt.Printf("port:       rx=%d tx=%d missed=%d\n",
-		port.Stats.RxPackets.Load(), port.Stats.TxPackets.Load(), port.Stats.RxMissed.Load())
+	if sockPort != nil {
+		s := &sockPort.Stats
+		fmt.Printf("port:       rx_datagrams=%d delivered=%d tx=%d tx_errors=%d\n",
+			s.RxDatagrams.Load(), s.RxPackets.Load(), s.TxPackets.Load(), s.TxErrors.Load())
+		fmt.Printf("shed:       ring_full=%d parse_error=%d pool_empty=%d\n",
+			s.RingFull.Load(), s.ParseError.Load(), s.PoolEmpty.Load())
+	} else {
+		fmt.Printf("port:       rx=%d tx=%d missed=%d\n",
+			simPort.Stats.RxPackets.Load(), simPort.Stats.TxPackets.Load(), simPort.Stats.RxMissed.Load())
+	}
+}
+
+// runPktgen is the -target mode: drive a listening nf-pipeline (or any
+// netport) with paced synthetic overlay traffic, then report the offered
+// rate.
+func runPktgen(target string, pps, count int, duration time.Duration, flows int) {
+	gen := &netport.Pktgen{
+		Target: target,
+		Base:   dpdk.DefaultSpec(),
+		Flows:  flows,
+		PPS:    pps,
+		Count:  count,
+	}
+	var stop chan struct{}
+	if count == 0 {
+		stop = make(chan struct{})
+		go func() {
+			time.Sleep(duration)
+			close(stop)
+		}()
+		log.Printf("pktgen: %s for %s at %d pps (%d flows)", target, duration, pps, flows)
+	} else {
+		log.Printf("pktgen: %s, %d datagrams at %d pps (%d flows)", target, count, pps, flows)
+	}
+	start := time.Now()
+	sent, err := gen.Run(stop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("pktgen:     sent=%d in %s (%.0f pps offered)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
 }

@@ -26,8 +26,18 @@ import (
 // conventional 2 KiB data room.
 const MbufSize = 2048
 
-// Generator produces the next synthetic packet's parameters. Generators
-// are not safe for concurrent use; give each port its own.
+// Generator produces the next synthetic packet's parameters.
+//
+// Concurrency contract: a port serializes every NextSpec call it makes —
+// under the distributor lock in steered mode (fillSteered), under the
+// owning queue's lock in partitioned mode (fillLocal) — so handing a
+// stateful generator to ONE port is safe no matter how many worker
+// goroutines poll that port's queues concurrently. What is not safe is
+// sharing one stateful generator (UniformFlows, ZipfFlows, cycleSpecs)
+// between two ports, or calling NextSpec yourself while a port owns the
+// generator: nothing serializes across ports. Stateless generators such
+// as FixedFlow are exempt and may be shared freely. The race regression
+// tests in generator_race_test.go pin both halves of this contract.
 type Generator interface {
 	// NextSpec fills spec with the next packet description.
 	NextSpec(spec *packet.BuildSpec)
@@ -35,7 +45,8 @@ type Generator interface {
 
 // FixedFlow generates every packet from the same flow — the lightest
 // generator, used by the Figure 2 null-filter measurements where content
-// is irrelevant.
+// is irrelevant. NextSpec only reads Spec, so one FixedFlow may be
+// shared across any number of ports and goroutines.
 type FixedFlow struct {
 	Spec packet.BuildSpec
 }

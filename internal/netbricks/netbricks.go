@@ -21,11 +21,40 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/dpdk"
 	"repro/internal/linear"
 	"repro/internal/packet"
 	"repro/internal/sfi"
 )
+
+// BurstPort is the driver contract the runners consume: a multi-queue
+// packet port polled and fed in bursts, DPDK PMD style. Two
+// implementations exist — dpdk.Port (synthetic in-process traffic, the
+// paper's measured code path) and netport.Port (a real UDP socket, so
+// the bytes crossing the protection-domain boundary arrived from outside
+// the process). The runners are written against this interface only;
+// swapping the wire for the simulator changes no pipeline code.
+//
+// Semantics every implementation must provide:
+//
+//   - RxBurstQueue fills out with up to len(out) packets from queue q and
+//     returns the count. A short (even zero) return is not end-of-stream;
+//     callers poll again, exactly like a PMD. Flow affinity holds: every
+//     packet of one flow surfaces on the same queue.
+//   - TxBurstQueue transmits pkts from the worker owning queue q and
+//     recycles their buffers; FreeQueue recycles without transmitting
+//     (drops). Both tolerate nil entries.
+//   - Queues reports the receive-queue count; each queue is safe to poll
+//     concurrently with other queues.
+//   - Drain consolidates undelivered descriptors and queue caches back
+//     into the buffer pool once the workers have stopped, so pool-leak
+//     accounting balances at end of run.
+type BurstPort interface {
+	Queues() int
+	RxBurstQueue(q int, out []*packet.Packet) int
+	TxBurstQueue(q int, pkts []*packet.Packet) int
+	FreeQueue(q int, pkts []*packet.Packet)
+	Drain()
+}
 
 // Batch is the unit of work: a burst of packets fetched from a port.
 // Exactly one stage owns a batch at a time; the drivers enforce this by
@@ -311,7 +340,7 @@ func (s *RunStats) Merge(o RunStats) {
 // batch, process it fully, transmit, repeat — the paper's execution model
 // ("processes the batch to completion before starting the next batch").
 type Runner struct {
-	Port      *dpdk.Port
+	Port      BurstPort // single-queue use: the runner polls queue 0
 	BatchSize int
 	// Direct and Isolated are alternatives; exactly one must be set.
 	Direct   *Pipeline
@@ -326,7 +355,7 @@ type Runner struct {
 // Domains are shared across workers; their counters are atomic. Each
 // worker processes n batches; aggregated stats and the first error are
 // returned.
-func (r *Runner) RunParallel(workers, n int, mkPort func(worker int) *dpdk.Port) (RunStats, error) {
+func (r *Runner) RunParallel(workers, n int, mkPort func(worker int) BurstPort) (RunStats, error) {
 	if workers <= 0 {
 		return RunStats{}, errors.New("netbricks: workers must be positive")
 	}
@@ -367,7 +396,7 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 	var stats RunStats
 	buf := make([]*packet.Packet, r.BatchSize)
 	for i := 0; i < n; i++ {
-		got := r.Port.RxBurst(buf)
+		got := r.Port.RxBurstQueue(0, buf)
 		if got == 0 {
 			break
 		}
@@ -386,7 +415,7 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 			// must return them to the pool (real DPDK would leak them
 			// until pool destruction; the manager reclaims domain memory
 			// by clearing the reference table, which the GC then frees).
-			r.Port.Free(buf[:got])
+			r.Port.FreeQueue(0, buf[:got])
 			if r.AutoRecover && r.Isolated != nil {
 				if rerr := r.Isolated.Recover(); rerr != nil {
 					return stats, rerr
@@ -403,8 +432,8 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 		stats.Batches++
 		stats.Packets += uint64(len(final.Pkts))
 		stats.Drops += uint64(len(final.Dropped))
-		r.Port.TxBurst(final.Pkts)
-		r.Port.Free(final.Dropped)
+		r.Port.TxBurstQueue(0, final.Pkts)
+		r.Port.FreeQueue(0, final.Dropped)
 	}
 	return stats, nil
 }

@@ -201,7 +201,7 @@ func TestRunParallelAggregates(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := &Runner{BatchSize: 8, Isolated: ip}
-	stats, err := r.RunParallel(4, 25, func(int) *dpdk.Port {
+	stats, err := r.RunParallel(4, 25, func(int) BurstPort {
 		return dpdk.NewPort(dpdk.Config{PoolSize: 64})
 	})
 	if err != nil {
@@ -230,7 +230,7 @@ func TestRunParallelFaultsContainedPerWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := &Runner{BatchSize: 4, Isolated: ip, AutoRecover: true}
-	stats, err := r.RunParallel(4, 20, func(int) *dpdk.Port {
+	stats, err := r.RunParallel(4, 20, func(int) BurstPort {
 		return dpdk.NewPort(dpdk.Config{PoolSize: 32})
 	})
 	if err != nil {
@@ -246,7 +246,7 @@ func TestRunParallelFaultsContainedPerWorker(t *testing.T) {
 
 func TestRunParallelValidation(t *testing.T) {
 	r := &Runner{BatchSize: 4, Direct: NewPipeline()}
-	if _, err := r.RunParallel(0, 1, func(int) *dpdk.Port { return newPort(t, 4) }); err == nil {
+	if _, err := r.RunParallel(0, 1, func(int) BurstPort { return newPort(t, 4) }); err == nil {
 		t.Fatal("zero workers accepted")
 	}
 }

@@ -25,7 +25,6 @@ import (
 	"time"
 
 	"repro/internal/domain"
-	"repro/internal/dpdk"
 	"repro/internal/linear"
 	"repro/internal/packet"
 	"repro/internal/sfi"
@@ -83,7 +82,7 @@ const maxIdlePolls = 8
 // per-flow state such as a load balancer's connection table is correct
 // without any cross-worker coordination.
 type ShardedRunner struct {
-	Port      *dpdk.Port // must expose at least Workers receive queues
+	Port      BurstPort // must expose at least Workers receive queues
 	Workers   int
 	BatchSize int
 	// NewDirect and NewIsolated are alternatives; exactly one must be

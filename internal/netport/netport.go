@@ -1,0 +1,564 @@
+// Package netport is the socket-backed network port: the same
+// RxBurst/TxBurst/Free code path as the simulated NIC in internal/dpdk,
+// but fed by a real UDP socket, so the bytes crossing the
+// protection-domain boundary arrived from outside the process.
+//
+// The wire format is an overlay: each UDP datagram's payload is one
+// complete Ethernet frame (the same Ethernet/IPv4/{TCP,UDP} framing
+// packet.Build produces and packet.Parse validates), the way a
+// VXLAN-style tunnel or a userspace virtio backend would carry frames.
+// Pktgen in this package — and `nf-pipeline -target` — produces that
+// format, so one binary can drive another over loopback.
+//
+// Ingress path, per datagram: one mbuf comes off the port mempool
+// (through the receive loop's local cache), the kernel copies the
+// datagram straight into the mbuf's buffer — the only copy on the path;
+// everything after it is by-reference ownership transfer — the frame is
+// parsed and RSS-hashed (the same Toeplitz/RETA steering the simulated
+// multi-queue port uses), and the mbuf is enqueued on the owning queue's
+// bounded ingress ring for that queue's worker to poll.
+//
+// Overload is shed at that ring, drop-tail, never absorbed unbounded:
+//
+//   - ring_full: the destination queue's ring is full — the worker is
+//     not draining fast enough (the rx_missed of real NICs);
+//   - parse_error: the payload is not a well-formed frame (including
+//     datagrams at or beyond the mbuf size, which the kernel would have
+//     truncated);
+//   - pool_empty: no mbuf was free; the datagram is read into a scratch
+//     buffer and discarded.
+//
+// Each cause has its own counter, every shed datagram is recorded in the
+// flight recorder, and a high/low-watermark gauge per queue exposes
+// backpressure before drops start. Total accounting is exact:
+//
+//	rx_datagrams == rx_packets + ring_full + parse_error + pool_empty
+//
+// holds whenever the receive loop is quiescent — every datagram read off
+// the socket is either delivered to a ring or counted under exactly one
+// cause — which the end-to-end overload test asserts.
+package netport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mempool"
+	"repro/internal/packet"
+	"repro/internal/telemetry"
+)
+
+// MbufSize is the fixed buffer size of an mbuf, matching internal/dpdk's
+// conventional 2 KiB data room. A datagram that does not fit below this
+// size is counted as a parse_error drop: the kernel silently truncates
+// reads into a full buffer, so a read of MbufSize bytes cannot be
+// distinguished from a truncated larger frame and is rejected.
+const MbufSize = 2048
+
+// Drop causes, used as the flight-recorder EvDrop argument so a recorder
+// dump shows why ingress shed each datagram.
+const (
+	DropRingFull uint64 = iota + 1
+	DropParseError
+	DropPoolEmpty
+)
+
+// Stats holds the port's cumulative counters — telemetry cells, written
+// on the data path with uncontended atomic adds and readable by a
+// metrics scrape at any time.
+type Stats struct {
+	// RxDatagrams counts every datagram read off the socket, delivered
+	// or shed. RxDatagrams == RxPackets + the three drop counters.
+	RxDatagrams telemetry.Counter
+	// RxPackets/RxBytes count frames delivered to an ingress ring.
+	RxPackets telemetry.Counter
+	RxBytes   telemetry.Counter
+	TxPackets telemetry.Counter
+	TxBytes   telemetry.Counter
+	// TxErrors counts failed socket writes (the buffer is recycled
+	// regardless; a wire error must not leak an mbuf).
+	TxErrors telemetry.Counter
+	// RxSocketErrors counts transient socket read errors.
+	RxSocketErrors telemetry.Counter
+
+	// Per-cause ingress drop counters; see the package comment.
+	RingFull   telemetry.Counter
+	ParseError telemetry.Counter
+	PoolEmpty  telemetry.Counter
+
+	// Backpressure is the number of receive queues currently above their
+	// high watermark (0 = every ring comfortably below; it clears only
+	// once a ring drains under the low watermark, so the gauge does not
+	// flap at the threshold).
+	Backpressure telemetry.Gauge
+}
+
+// drops returns the sum of the per-cause drop counters.
+func (s *Stats) drops() uint64 {
+	return s.RingFull.Load() + s.ParseError.Load() + s.PoolEmpty.Load()
+}
+
+// Config parameterizes Open.
+type Config struct {
+	// Listen is the UDP address to receive on, e.g. "127.0.0.1:0".
+	Listen string
+	// Queues is the number of receive queues (default 1); flows are
+	// RSS-steered across them exactly like the simulated multi-queue
+	// port, so one worker per queue sees complete flows.
+	Queues int
+	// PoolSize is the mbuf count (default: enough to fill every ring and
+	// cache with 1024 spare for in-flight batches).
+	PoolSize int
+	// RingSize bounds each queue's ingress ring in datagrams (default
+	// 1024, rounded up to a power of two). This is the overload-shedding
+	// boundary: when a ring is full, new datagrams for that queue drop.
+	RingSize int
+	// CacheSize bounds each queue's local mempool cache (default
+	// mempool.DefaultCacheSize, clamped to the pool size).
+	CacheSize int
+	// PollWait is how long RxBurstQueue blocks for traffic when the ring
+	// is empty before returning 0 (default 1ms). Runners treat a run of
+	// empty polls as end-of-traffic, so PollWait sets their patience.
+	PollWait time.Duration
+	// TxTarget, when set, is the UDP address transmitted frames are sent
+	// to (one datagram per frame, same overlay format as ingress). When
+	// empty the port is a sink: TxBurst counts and recycles only.
+	TxTarget string
+	// ReadBuffer requests SO_RCVBUF bytes on the socket (0 = kernel
+	// default). The kernel caps it at net.core.rmem_max.
+	ReadBuffer int
+	// Recorder, when non-nil, receives an EvDrop event (arg = drop
+	// cause) for every shed datagram and backpressure edge events.
+	Recorder *telemetry.Recorder
+}
+
+// rxQueue is one receive queue: the bounded ingress ring the receive
+// loop fills, a wakeup channel so an idle worker needn't spin at full
+// rate, and a local mempool cache recycling the owning worker's
+// transmitted/freed buffers. The mutex guards the cache (dpdk.Port keeps
+// the same discipline); in the intended one-worker-per-queue deployment
+// it is uncontended.
+type rxQueue struct {
+	ring  *mempool.Ring[*packet.Packet]
+	ready chan struct{}
+	bp    atomic.Bool     // above high watermark (hysteresis state)
+	gauge telemetry.Gauge // 0/1 mirror of bp for the registry
+
+	mu    sync.Mutex
+	cache *mempool.Cache[packet.Packet]
+
+	actor telemetry.ActorID
+}
+
+// Port is a UDP-socket-backed burst port. It satisfies
+// netbricks.BurstPort; the pipeline runtime cannot tell it from the
+// simulated NIC except by the provenance of the bytes.
+type Port struct {
+	conn   *net.UDPConn
+	txDst  *net.UDPAddr
+	queues []*rxQueue
+	pool   *mempool.Pool[packet.Packet]
+
+	// rxMu guards rxCache: the receive loop is the only Get/Put caller,
+	// but PoolAvailable scrapes Len from other goroutines.
+	rxMu    sync.Mutex
+	rxCache *mempool.Cache[packet.Packet]
+	// loopHeld counts mbufs checked out by the receive loop — normally
+	// the one parked across the blocking socket read. PoolAvailable adds
+	// it back so leak baselines are exact whenever the loop is between
+	// datagrams, not just after Close.
+	loopHeld atomic.Int64
+
+	reta     *packet.RETA
+	rssKey   packet.RSSKey
+	pollWait time.Duration
+	high     int // ring depth that raises backpressure
+	low      int // ring depth that clears it
+
+	rec     *telemetry.Recorder
+	scratch []byte // pool_empty reads land here and are discarded
+
+	closed atomic.Bool
+	done   chan struct{} // receive loop exited
+
+	// Stats is exported for harnesses.
+	Stats Stats
+}
+
+// Open binds the listen socket, builds the queues, and starts the
+// receive loop. The caller must Close the port to settle buffer
+// accounting.
+func Open(cfg Config) (*Port, error) {
+	p, err := newPort(cfg)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netport: listen address: %w", err)
+	}
+	p.conn, err = net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netport: %w", err)
+	}
+	if cfg.ReadBuffer > 0 {
+		// Best effort: the kernel clamps to rmem_max.
+		_ = p.conn.SetReadBuffer(cfg.ReadBuffer)
+	}
+	if cfg.TxTarget != "" {
+		p.txDst, err = net.ResolveUDPAddr("udp", cfg.TxTarget)
+		if err != nil {
+			p.conn.Close()
+			return nil, fmt.Errorf("netport: tx target: %w", err)
+		}
+	}
+	go p.rxLoop()
+	return p, nil
+}
+
+// newPort builds the socketless core — pool, queues, steering. Tests and
+// the fuzz target use it directly to drive the deliver path without a
+// kernel in the loop.
+func newPort(cfg Config) (*Port, error) {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = time.Millisecond
+	}
+	cache := cfg.CacheSize
+	if cache <= 0 {
+		cache = mempool.DefaultCacheSize
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = cfg.Queues*(cfg.RingSize+2*cache) + 1024
+	}
+	p := &Port{
+		rssKey:   packet.DefaultRSSKey,
+		reta:     packet.NewRETA(cfg.Queues, 0),
+		pollWait: cfg.PollWait,
+		rec:      cfg.Recorder,
+		scratch:  make([]byte, MbufSize),
+		done:     make(chan struct{}),
+		pool: mempool.NewPool(cfg.PoolSize, func() *packet.Packet {
+			return &packet.Packet{Data: make([]byte, 0, MbufSize)}
+		}),
+	}
+	p.rxCache = mempool.NewCache(p.pool, cfg.CacheSize)
+	for q := 0; q < cfg.Queues; q++ {
+		rq := &rxQueue{
+			ring:  mempool.NewRing[*packet.Packet](cfg.RingSize),
+			ready: make(chan struct{}, 1),
+			cache: mempool.NewCache(p.pool, cfg.CacheSize),
+			actor: p.rec.Actor("netport/rxq" + strconv.Itoa(q)),
+		}
+		p.queues = append(p.queues, rq)
+	}
+	// Watermarks: raise backpressure at 3/4 ring, clear below 1/4. The
+	// ring constructor rounds to a power of two, so read it back.
+	size := p.queues[0].ring.Capacity()
+	p.high = size * 3 / 4
+	p.low = size / 4
+	return p, nil
+}
+
+// Addr reports the bound listen address (nil for a socketless test
+// port) — tests bind to ":0" and read the kernel-chosen port here.
+func (p *Port) Addr() net.Addr {
+	if p.conn == nil {
+		return nil
+	}
+	return p.conn.LocalAddr()
+}
+
+// Queues reports the number of receive queues.
+func (p *Port) Queues() int { return len(p.queues) }
+
+// rxLoop is the distributor: the single goroutine that owns the socket
+// read side and the rx mbuf cache. One iteration = one datagram: take an
+// mbuf, let the kernel copy the datagram into it, hand it to deliver.
+func (p *Port) rxLoop() {
+	defer close(p.done)
+	for {
+		pkt := p.takeMbuf()
+		buf := p.scratch
+		if pkt != nil {
+			buf = pkt.Data[:MbufSize]
+		}
+		n, err := p.conn.Read(buf)
+		if err != nil {
+			if pkt != nil {
+				p.putMbuf(pkt)
+			}
+			if p.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			p.Stats.RxSocketErrors.Inc()
+			continue
+		}
+		if pkt == nil {
+			p.shed(&p.Stats.PoolEmpty, DropPoolEmpty, 0)
+			continue
+		}
+		p.deliver(pkt, n)
+	}
+}
+
+// deliver is the per-datagram ingress path after the kernel copy: parse,
+// steer, enqueue-or-shed. It owns pkt (whose first n bytes are the
+// datagram) and either hands it to a ring or recycles it. The fuzz
+// target drives this function directly.
+func (p *Port) deliver(pkt *packet.Packet, n int) {
+	if n >= MbufSize {
+		// Possibly truncated by the kernel read; reject (see MbufSize).
+		p.putMbuf(pkt)
+		p.shed(&p.Stats.ParseError, DropParseError, 0)
+		return
+	}
+	pkt.Data = pkt.Data[:n]
+	pkt.Reset()
+	if err := pkt.Parse(); err != nil {
+		p.putMbuf(pkt)
+		p.shed(&p.Stats.ParseError, DropParseError, 0)
+		return
+	}
+	hash := pkt.Tuple().RSSHash(p.rssKey)
+	q := p.reta.Queue(hash)
+	pkt.RxQueue = q
+	pkt.RxHash = hash
+	rq := p.queues[q]
+	if rq.ring.Enqueue(pkt) != nil {
+		p.putMbuf(pkt)
+		p.shed(&p.Stats.RingFull, DropRingFull, rq.actor)
+		return
+	}
+	p.loopHeld.Add(-1) // ownership moved to the ring
+	p.Stats.RxPackets.Inc()
+	p.Stats.RxBytes.Add(uint64(n))
+	p.Stats.RxDatagrams.Inc()
+	if !rq.bp.Load() && rq.ring.Len() >= p.high && rq.bp.CompareAndSwap(false, true) {
+		rq.gauge.Set(1)
+		p.Stats.Backpressure.Add(1)
+	}
+	select {
+	case rq.ready <- struct{}{}:
+	default:
+	}
+}
+
+// shed accounts one dropped datagram: per-cause counter, the total, and
+// a flight-recorder event so drops are visible in a post-mortem dump.
+func (p *Port) shed(c *telemetry.Counter, cause uint64, actor telemetry.ActorID) {
+	c.Inc()
+	p.Stats.RxDatagrams.Inc()
+	p.rec.Record(actor, telemetry.EvDrop, cause)
+}
+
+// takeMbuf gets a fresh mbuf from the receive cache (nil when the pool
+// is exhausted — the caller shed-counts the datagram).
+func (p *Port) takeMbuf() *packet.Packet {
+	p.rxMu.Lock()
+	defer p.rxMu.Unlock()
+	pkt, err := p.rxCache.Get()
+	if err != nil {
+		return nil
+	}
+	p.loopHeld.Add(1)
+	return pkt
+}
+
+// putMbuf recycles an mbuf through the receive cache.
+func (p *Port) putMbuf(pkt *packet.Packet) {
+	p.rxMu.Lock()
+	p.rxCache.Put(pkt)
+	p.rxMu.Unlock()
+	p.loopHeld.Add(-1)
+}
+
+// RxBurstQueue fills out with up to len(out) packets from receive queue
+// q, returning the count. When the ring is empty it blocks up to
+// PollWait for the receive loop's wakeup before returning 0 — so a
+// polling worker neither spins hot on an idle wire nor misses a burst
+// that lands mid-poll.
+func (p *Port) RxBurstQueue(q int, out []*packet.Packet) int {
+	rq := p.queue(q)
+	n := rq.ring.DequeueBurst(out)
+	if n == 0 && !p.closed.Load() {
+		t := time.NewTimer(p.pollWait)
+		select {
+		case <-rq.ready:
+			t.Stop()
+		case <-t.C:
+		}
+		n = rq.ring.DequeueBurst(out)
+	}
+	if n > 0 && rq.bp.Load() && rq.ring.Len() <= p.low && rq.bp.CompareAndSwap(true, false) {
+		rq.gauge.Set(0)
+		p.Stats.Backpressure.Add(-1)
+	}
+	return n
+}
+
+// RxBurst polls queue 0 (single-queue convenience, mirroring dpdk.Port).
+func (p *Port) RxBurst(out []*packet.Packet) int { return p.RxBurstQueue(0, out) }
+
+// TxBurstQueue transmits pkts from the worker owning queue q — one UDP
+// datagram per frame to the configured TxTarget (pure accounting when
+// the port is a sink) — and recycles the buffers through the queue's
+// local cache. A failed write counts TxErrors but still recycles: a wire
+// error never leaks an mbuf. Concurrent callers on different queues are
+// safe; the kernel serializes socket writes.
+func (p *Port) TxBurstQueue(q int, pkts []*packet.Packet) int {
+	rq := p.queue(q)
+	for _, pkt := range pkts {
+		if pkt == nil {
+			continue
+		}
+		if p.txDst != nil {
+			if _, err := p.conn.WriteToUDP(pkt.Data, p.txDst); err != nil {
+				p.Stats.TxErrors.Inc()
+			}
+		}
+		p.Stats.TxPackets.Inc()
+		p.Stats.TxBytes.Add(uint64(pkt.Len()))
+	}
+	rq.mu.Lock()
+	for _, pkt := range pkts {
+		if pkt != nil {
+			rq.cache.Put(pkt)
+		}
+	}
+	rq.mu.Unlock()
+	return len(pkts)
+}
+
+// TxBurst transmits from queue 0 (single-queue convenience).
+func (p *Port) TxBurst(pkts []*packet.Packet) int { return p.TxBurstQueue(0, pkts) }
+
+// FreeQueue returns packets to queue q's local cache without
+// transmitting them (drops).
+func (p *Port) FreeQueue(q int, pkts []*packet.Packet) {
+	rq := p.queue(q)
+	rq.mu.Lock()
+	for _, pkt := range pkts {
+		if pkt != nil {
+			rq.cache.Put(pkt)
+		}
+	}
+	rq.mu.Unlock()
+}
+
+// Free returns packets to queue 0's cache (single-queue convenience).
+func (p *Port) Free(pkts []*packet.Packet) { p.FreeQueue(0, pkts) }
+
+// Drain consolidates undelivered ring descriptors and the per-queue
+// caches back into the shared pool, once the workers have stopped.
+// Unlike the simulated port, the receive loop stays live: datagrams
+// arriving after Drain land in the rings again, and only Close settles
+// the pool for good.
+func (p *Port) Drain() {
+	for _, rq := range p.queues {
+		for {
+			pkt, err := rq.ring.Dequeue()
+			if err != nil {
+				break
+			}
+			p.pool.Put(pkt)
+		}
+		rq.mu.Lock()
+		rq.cache.Flush()
+		rq.mu.Unlock()
+	}
+}
+
+// Close stops the receive loop, closes the socket, and returns every
+// buffer to the pool. After Close, PoolAvailable equals the pool
+// capacity unless a caller still holds packets.
+func (p *Port) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	if p.conn != nil {
+		err = p.conn.Close()
+		<-p.done // receive loop exits on the closed socket
+	}
+	p.rxMu.Lock()
+	p.rxCache.Flush()
+	p.rxMu.Unlock()
+	p.Drain()
+	return err
+}
+
+// PoolAvailable reports free mbufs — in the shared pool, the receive
+// cache, every queue's cache, plus the one the receive loop parks across
+// its blocking socket read — for leak assertions in tests. Only buffers
+// held by in-flight packets (rings and batches) are excluded; the result
+// is exact at quiescence and approximate while datagrams are moving.
+func (p *Port) PoolAvailable() int {
+	n := p.pool.Available() + int(p.loopHeld.Load())
+	p.rxMu.Lock()
+	n += p.rxCache.Len()
+	p.rxMu.Unlock()
+	for _, rq := range p.queues {
+		rq.mu.Lock()
+		n += rq.cache.Len()
+		rq.mu.Unlock()
+	}
+	return n
+}
+
+// PoolCapacity reports the mbuf pool's fixed capacity.
+func (p *Port) PoolCapacity() int { return p.pool.Capacity() }
+
+// RSSQueue reports which receive queue the port steers a flow to.
+func (p *Port) RSSQueue(t packet.FiveTuple) int {
+	return p.reta.Queue(t.RSSHash(p.rssKey))
+}
+
+// RegisterMetrics exports the port's counters, the per-cause drop
+// counters (labelled cause=ring_full|parse_error|pool_empty), the
+// backpressure gauges, the mempool, and every queue's ring depth and
+// cache on reg. base labels every series; queues add a "queue" label.
+func (p *Port) RegisterMetrics(reg *telemetry.Registry, base telemetry.Labels) {
+	reg.RegisterCounter("port_rx_datagrams_total", base, &p.Stats.RxDatagrams)
+	reg.RegisterCounter("port_rx_packets_total", base, &p.Stats.RxPackets)
+	reg.RegisterCounter("port_rx_bytes_total", base, &p.Stats.RxBytes)
+	reg.RegisterCounter("port_tx_packets_total", base, &p.Stats.TxPackets)
+	reg.RegisterCounter("port_tx_bytes_total", base, &p.Stats.TxBytes)
+	reg.RegisterCounter("port_tx_errors_total", base, &p.Stats.TxErrors)
+	reg.RegisterCounter("port_rx_socket_errors_total", base, &p.Stats.RxSocketErrors)
+	reg.RegisterCounter("port_ingress_drops_total", base.With("cause", "ring_full"), &p.Stats.RingFull)
+	reg.RegisterCounter("port_ingress_drops_total", base.With("cause", "parse_error"), &p.Stats.ParseError)
+	reg.RegisterCounter("port_ingress_drops_total", base.With("cause", "pool_empty"), &p.Stats.PoolEmpty)
+	reg.RegisterGauge("port_rx_backpressure_queues", base, &p.Stats.Backpressure)
+	p.pool.RegisterMetrics(reg, base)
+	for q, rq := range p.queues {
+		rq := rq
+		labels := base.With("queue", strconv.Itoa(q))
+		reg.RegisterGaugeFunc("port_rx_ring_depth", labels, func() float64 {
+			return float64(rq.ring.Len())
+		})
+		reg.RegisterGauge("port_rx_backpressure", labels, &rq.gauge)
+		rq.cache.RegisterMetrics(reg, labels, func() float64 {
+			rq.mu.Lock()
+			defer rq.mu.Unlock()
+			return float64(rq.cache.Len())
+		})
+	}
+}
+
+func (p *Port) queue(q int) *rxQueue {
+	if q < 0 || q >= len(p.queues) {
+		panic(fmt.Sprintf("netport: queue %d out of range (port has %d)", q, len(p.queues)))
+	}
+	return p.queues[q]
+}
