@@ -6,7 +6,7 @@ GO ?= go
 # telemetry core every one of them records into, and both port
 # implementations (the simulated NIC's steered distributor and the
 # socket-backed port's receive loop).
-RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry ./internal/netport ./internal/dpdk
+RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry ./internal/netport ./internal/dpdk ./internal/checkpoint ./internal/session
 
 # Per-benchmark time for the JSON bench run; raise for stabler numbers.
 BENCHTIME ?= 0.5s
@@ -54,12 +54,14 @@ race:
 race-all:
 	$(GO) test -race ./...
 
-## fuzz: short fuzz smoke on the packet parser and the mailbox
-## ownership boundary (seed corpus + 10s each).
+## fuzz: short fuzz smoke on the packet parser, the mailbox ownership
+## boundary, the netport decoder, and the checkpoint round-trip
+## (seed corpus + 10s each).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParsePacket -fuzztime=10s ./internal/packet
 	$(GO) test -run='^$$' -fuzz=FuzzMailboxOwnership -fuzztime=10s ./internal/domain
 	$(GO) test -run='^$$' -fuzz=FuzzNetportDecode -fuzztime=10s ./internal/netport
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRestore -fuzztime=10s ./internal/checkpoint
 
 ## bench: the pipeline throughput benches (direct/isolated/sharded/
 ## supervised, steady and faulting), recorded machine-readably in
@@ -71,6 +73,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_telemetry.json
 	$(GO) test -run='^$$' -bench='NetportLoopback' -benchtime=$(BENCHTIME) ./internal/netport \
 		| $(GO) run ./cmd/benchjson -out BENCH_netport.json
+	$(GO) test -run='^$$' -bench='CheckpointedPipeline|CheckpointRestoreSession' -benchmem -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_checkpoint.json
 
 ## bench-all: the full testing.B harness (human-readable only).
 bench-all:

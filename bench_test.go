@@ -26,6 +26,7 @@ import (
 	"repro/internal/minirust"
 	"repro/internal/netbricks"
 	"repro/internal/packet"
+	"repro/internal/session"
 	"repro/internal/sfi"
 )
 
@@ -386,6 +387,147 @@ func BenchmarkFigure3Restore(b *testing.B) {
 		if err := snap.Restore(&out); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- §5→§3: checkpointed stateful recovery ------------------------------
+
+// benchCheckpointed measures aggregate supervised-pipeline throughput
+// (parse → firewall → maglev → session) with per-worker NF state
+// snapshotted at the given epoch; epoch 0 is the no-checkpointing
+// baseline. The 10ms/off delta prices the steady-state checkpoint tax
+// (acceptance: ≤ 15%); 100ms shows the epoch-length lever.
+func benchCheckpointed(b *testing.B, epoch time.Duration) {
+	b.Helper()
+	const workers = 4
+	const batchSize = 32
+	// Long enough per Run (tens of ms) that a 10ms epoch fires many
+	// times inside it — domains are fresh per Run, so shorter runs would
+	// never checkpoint at all and the bench would price nothing.
+	const batchesPerWorker = 1000
+	// 1024 flows ≈ 256 session entries per worker: capture cost scales
+	// with state size, so the epoch tax below is per-256-flows-worker;
+	// BenchmarkCheckpointRestoreSession prices the big-graph traversal
+	// separately.
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: workers * 512,
+		RxQueues: workers,
+		QueueGen: dpdk.NewRSSPartition(dpdk.DefaultSpec(), 1024, workers),
+	})
+	db := firewall.NewDB(firewall.Deny)
+	if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow}); err != nil {
+		b.Fatal(err)
+	}
+	backends := []maglev.Backend{
+		{Name: "be-0", IP: packet.Addr(10, 1, 0, 1)},
+		{Name: "be-1", IP: packet.Addr(10, 1, 0, 2)},
+	}
+	tables := make([]*session.Table, workers)
+	balancers := make([]*maglev.Balancer, workers)
+	for w := 0; w < workers; w++ {
+		tables[w] = session.NewTable()
+		lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		balancers[w] = lb
+	}
+	r := &netbricks.ShardedRunner{
+		Port: port, Workers: workers, BatchSize: batchSize,
+		Supervise: true,
+		Policy: domain.Policy{
+			Backoff:         20 * time.Microsecond,
+			MaxBackoff:      time.Millisecond,
+			MaxRestarts:     -1,
+			CheckpointEvery: epoch,
+		},
+		NewIsolated: func(w int) (*netbricks.IsolatedPipeline, error) {
+			return netbricks.NewIsolatedPipeline(sfi.NewManager(),
+				[]netbricks.Operator{
+					netbricks.Parse{},
+					firewall.Operator{DB: db},
+					maglev.Operator{LB: balancers[w]},
+					session.Operator{T: tables[w]},
+				},
+				[]func() netbricks.Operator{nil, nil, nil, nil})
+		},
+		NewState: func(w int) domain.Stateful {
+			return domain.NewStateSet().
+				Add("maglev", balancers[w]).
+				Add("session", tables[w])
+		},
+	}
+	var total uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := r.Run(batchesPerWorker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Packets == 0 {
+			b.Fatal("no packets processed")
+		}
+		total += stats.Packets
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "pkts/s")
+	sn, ok := r.SupervisorSnapshot()
+	if !ok {
+		b.Fatal("no supervisor snapshot")
+	}
+	if epoch > 0 && epoch < 50*time.Millisecond && sn.Checkpoints == 0 {
+		b.Fatal("checkpointing bench took no checkpoints; nothing was priced")
+	}
+	// The snapshot covers the final Run only (each Run boots fresh
+	// domains), so this is checkpoint epochs per run, all workers.
+	b.ReportMetric(float64(sn.Checkpoints), "ckpts/run")
+}
+
+// BenchmarkCheckpointedPipeline is the epoch sweep recorded in
+// BENCH_checkpoint.json: checkpointing off, the 10ms acceptance point,
+// and the relaxed 100ms epoch.
+func BenchmarkCheckpointedPipeline(b *testing.B) {
+	cases := []struct {
+		name  string
+		epoch time.Duration
+	}{
+		{"epoch=off", 0},
+		{"epoch=10ms", 10 * time.Millisecond},
+		{"epoch=100ms", 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { benchCheckpointed(b, c.epoch) })
+	}
+}
+
+// BenchmarkCheckpointRestoreSession measures restoring a live session
+// table — 4096 flows interned over 32 shared backend handles, the
+// Figure-3a aliasing shape on runtime state — from a checkpoint taken
+// under each sharing-preserving mode. RcAware pays one flag check per
+// Rc handle; VisitedSet pays a global address-table probe per node.
+func BenchmarkCheckpointRestoreSession(b *testing.B) {
+	for _, mode := range []checkpoint.Mode{checkpoint.RcAware, checkpoint.VisitedSet} {
+		b.Run("mode="+mode.String(), func(b *testing.B) {
+			tbl := session.NewTable()
+			base := dpdk.DefaultSpec().Tuple
+			for i := 0; i < 4096; i++ {
+				tu := base
+				tu.SrcIP += packet.IPv4(i)
+				tu.SrcPort += uint16(i % 50000)
+				tbl.Track(tu, packet.Addr(10, 1, 0, byte(i%32)), 64)
+			}
+			tok, err := tbl.Checkpoint(checkpoint.NewEngine(mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tbl.Restore(tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

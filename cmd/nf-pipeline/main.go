@@ -1,7 +1,8 @@
 // Command nf-pipeline runs a realistic isolated network-function pipeline
 // end to end: simulated DPDK port → parse → firewall → Maglev load
-// balancer, with every stage in its own protection domain, optional fault
-// injection, and automatic recovery — the full §3 scenario.
+// balancer → session table, with every stage in its own protection
+// domain, optional fault injection, and automatic recovery — the full §3
+// scenario, with §5 checkpointed state recovery on top.
 //
 // Usage:
 //
@@ -13,6 +14,9 @@
 //	nf-pipeline -workers 4 -supervise    # workers as supervised domains
 //	nf-pipeline -workers 4 -supervise -crashrate 0.05
 //	                                     # chaos: 5% of batches panic
+//	nf-pipeline -workers 4 -supervise -crashrate 0.05 -checkpoint-every 10ms
+//	                                     # §5: restarted workers restore
+//	                                     # their NF state from checkpoints
 //	nf-pipeline -metrics-addr :9090 -supervise -crashrate 0.05
 //	                                     # live /metrics + flight recorder
 //
@@ -23,6 +27,10 @@
 //	                                     # simulated NIC; -egress to forward
 //	nf-pipeline -target 127.0.0.1:9000 -pps 100000 -duration 10s
 //	                                     # pktgen: drive the listener
+//
+// Contradictory flag sets (e.g. -listen with -target, or
+// -checkpoint-every without -supervise) are rejected up front with a
+// usage error rather than letting one mode win silently.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -43,31 +52,67 @@ import (
 	"repro/internal/netbricks"
 	"repro/internal/netport"
 	"repro/internal/packet"
+	"repro/internal/session"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
 )
 
-// faultyFirewall wraps the firewall operator with §3-style fault
-// injection: a deterministic one-shot panic (-inject) and/or a seeded
-// probabilistic injector (-crashrate).
-type faultyFirewall struct {
-	firewall.Operator
+// osExit is swappable so flag-validation tests can observe the exit.
+var osExit = os.Exit
+
+// faultyStage wraps an operator with §3-style fault injection: a
+// deterministic one-shot panic (-inject) and/or a seeded probabilistic
+// injector (-crashrate).
+type faultyStage struct {
+	inner   netbricks.Operator
 	panicOn int
 	seen    int
 	inj     *faultinject.Injector
 }
 
-func (f *faultyFirewall) Name() string { return "firewall" }
+func (f *faultyStage) Name() string { return f.inner.Name() }
 
-func (f *faultyFirewall) ProcessBatch(b *netbricks.Batch) error {
+func (f *faultyStage) ProcessBatch(b *netbricks.Batch) error {
 	f.seen++
 	if f.panicOn != 0 && f.seen == f.panicOn {
-		panic(fmt.Sprintf("injected firewall fault on batch %d", f.seen))
+		panic(fmt.Sprintf("injected %s fault on batch %d", f.inner.Name(), f.seen))
 	}
 	if f.inj != nil {
-		f.inj.Point("firewall")
+		f.inj.Point(f.inner.Name())
 	}
-	return f.Operator.ProcessBatch(b)
+	return f.inner.ProcessBatch(b)
+}
+
+// validateFlags rejects contradictory flag combinations up front, so the
+// process exits with a usage error instead of silently letting one mode
+// win. set holds the names of flags the user passed explicitly.
+func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Duration) error {
+	if set["target"] {
+		// Pktgen mode: only pktgen knobs make sense alongside it.
+		for _, name := range []string{
+			"listen", "egress", "direct", "supervise", "inject", "crashrate",
+			"checkpoint-every", "workers", "batches", "size",
+			"metrics-addr", "stats-interval",
+		} {
+			if set[name] {
+				return fmt.Errorf("-target (pktgen mode) conflicts with -%s", name)
+			}
+		}
+		return nil
+	}
+	if set["egress"] && !set["listen"] {
+		return fmt.Errorf("-egress forwards received traffic; it needs -listen")
+	}
+	if checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0")
+	}
+	if checkpointEvery > 0 && !supervise {
+		return fmt.Errorf("-checkpoint-every snapshots supervised worker domains; it needs -supervise")
+	}
+	if set["pps"] || set["count"] || set["duration"] {
+		return fmt.Errorf("-pps/-count/-duration are pktgen knobs; they need -target")
+	}
+	return nil
 }
 
 func main() {
@@ -93,8 +138,17 @@ func main() {
 		pps      = flag.Int("pps", 100000, "pktgen: offered load in packets per second (0 = unpaced)")
 		count    = flag.Int("count", 0, "pktgen: datagrams to send (0 = send for -duration)")
 		duration = flag.Duration("duration", 10*time.Second, "pktgen: how long to send when -count is 0")
+
+		checkpointEvery = flag.Duration("checkpoint-every", 0, "with -supervise: snapshot each worker's NF state at this epoch length; restarts restore the last good snapshot (0 = off)")
 	)
 	flag.Parse()
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if err := validateFlags(setFlags, *supervise, *checkpointEvery); err != nil {
+		fmt.Fprintf(flag.CommandLine.Output(), "nf-pipeline: %v\n\n", err)
+		flag.Usage()
+		osExit(2)
+	}
 	if *target != "" {
 		runPktgen(*target, *pps, *count, *duration, *flows)
 		return
@@ -195,27 +249,55 @@ func main() {
 		simPort.RegisterMetrics(reg, telemetry.Labels{"port": "0"})
 		port = simPort
 	}
-	db := firewall.NewDB(firewall.Deny)
-	// Admit the synthetic service prefix; everything else drops.
-	if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow, Comment: "service"}); err != nil {
-		log.Fatal(err)
+	newRuleDB := func() *firewall.DB {
+		db := firewall.NewDB(firewall.Deny)
+		// Admit the synthetic service prefix; everything else drops.
+		if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow, Comment: "service"}); err != nil {
+			log.Fatal(err)
+		}
+		return db
 	}
+	db := newRuleDB()
 	backends := make([]maglev.Backend, 8)
 	for i := range backends {
 		backends[i] = maglev.Backend{Name: fmt.Sprintf("be-%d", i), IP: packet.Addr(10, 1, 0, byte(i+1))}
 	}
 
-	// Each worker owns a private balancer: RSS flow affinity guarantees a
-	// flow's packets all reach the same worker, so per-worker connection
-	// tables are exact, not approximate. The rule DB is read-only after
-	// setup and safely shared.
+	// Each worker owns a private balancer and session table: RSS flow
+	// affinity guarantees a flow's packets all reach the same worker, so
+	// per-worker connection/flow tables are exact, not approximate. The
+	// rule DB is read-only after setup and safely shared — except under
+	// -checkpoint-every, where each worker gets a private DB behind a
+	// firewall.Stateful so workers snapshot disjoint graphs (concurrent
+	// checkpoints over one shared graph would fight over the Rc epoch
+	// flags and lose sharing).
 	balancers := make([]*maglev.Balancer, *workers)
+	tables := make([]*session.Table, *workers)
+	var fwStates []*firewall.Stateful
+	if *checkpointEvery > 0 {
+		fwStates = make([]*firewall.Stateful, *workers)
+	}
 	for w := range balancers {
 		lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
 		if err != nil {
 			log.Fatal(err)
 		}
 		balancers[w] = lb
+		tables[w] = session.NewTable()
+		if fwStates != nil {
+			fws, err := firewall.NewStateful(newRuleDB())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fwStates[w] = fws
+		}
+	}
+
+	firewallOp := func(w int) netbricks.Operator {
+		if fwStates != nil {
+			return firewall.StatefulOperator{S: fwStates[w]}
+		}
+		return firewall.Operator{DB: db}
 	}
 
 	// stagesFor builds worker w's private pipeline stages. Fault injection
@@ -226,8 +308,12 @@ func main() {
 		if w == 0 {
 			panicOn = *inject
 		}
-		fw := &faultyFirewall{Operator: firewall.Operator{DB: db}, panicOn: panicOn, inj: inj}
-		return []netbricks.Operator{netbricks.Parse{}, fw, maglev.Operator{LB: balancers[w]}}
+		fw := &faultyStage{inner: firewallOp(w), panicOn: panicOn, inj: inj}
+		return []netbricks.Operator{
+			netbricks.Parse{}, fw,
+			maglev.Operator{LB: balancers[w]},
+			session.Operator{T: tables[w]},
+		}
 	}
 	recoveryFor := func(w int) []func() netbricks.Operator {
 		return []func() netbricks.Operator{
@@ -236,8 +322,9 @@ func main() {
 				// Recovery reinitializes the firewall from clean state; the
 				// injector stays attached, so a chaos run keeps crashing at
 				// the configured rate after every recovery.
-				return &faultyFirewall{Operator: firewall.Operator{DB: db}, inj: inj}
+				return &faultyStage{inner: firewallOp(w), inj: inj}
 			},
+			nil,
 			nil,
 		}
 	}
@@ -266,7 +353,8 @@ func main() {
 			Supervise: *supervise,
 			Registry:  reg,
 			Policy: domain.Policy{
-				Recorder: rec,
+				Recorder:        rec,
+				CheckpointEvery: *checkpointEvery,
 				OnDegrade: func(name string, events []telemetry.Event) {
 					log.Printf("flight-recorder dump: %s exhausted its restart budget; last %d events:", name, len(events))
 					for _, ev := range events {
@@ -274,6 +362,14 @@ func main() {
 					}
 				},
 			},
+		}
+		if *checkpointEvery > 0 {
+			runner.NewState = func(w int) domain.Stateful {
+				return domain.NewStateSet().
+					Add("firewall", fwStates[w]).
+					Add("maglev", balancers[w]).
+					Add("session", tables[w])
+			}
 		}
 		if *direct {
 			runner.NewDirect = func(w int) *netbricks.Pipeline {
@@ -294,6 +390,10 @@ func main() {
 		if sn, ok := runner.SupervisorSnapshot(); ok {
 			defer fmt.Printf("supervisor: %d restarts (%d errors, %d crashes, %d hangs), degraded=%v\n",
 				sn.Restarts, sn.Errors, sn.Crashes, sn.Hangs, sn.Degraded)
+			if *checkpointEvery > 0 {
+				defer fmt.Printf("checkpoint: %s epochs: %d taken (%d failed), %d restores, %d cold starts\n",
+					*checkpointEvery, sn.Checkpoints, sn.CheckpointFailures, sn.Restores, sn.ColdStarts)
+			}
 		}
 	}
 	if err != nil {
@@ -308,7 +408,7 @@ func main() {
 	if *supervise {
 		mode += ", supervised workers"
 	}
-	fmt.Printf("pipeline:   parse -> firewall -> maglev, %s\n", mode)
+	fmt.Printf("pipeline:   parse -> firewall -> maglev -> session, %s\n", mode)
 	if *workers > 1 {
 		fmt.Printf("sharding:   %d workers, RSS flow steering (%d-entry RETA)\n", *workers, packet.DefaultRETASize)
 	}
@@ -331,6 +431,12 @@ func main() {
 		conns += lb.ConnCount()
 	}
 	fmt.Printf("maglev:     %d tracked connections, %d table hits, %d new flows\n", conns, hits, misses)
+	flowCount, backendCount := 0, 0
+	for _, t := range tables {
+		flowCount += t.Len()
+		backendCount += t.Backends()
+	}
+	fmt.Printf("session:    %d tracked flows over %d backend handles\n", flowCount, backendCount)
 	if sockPort != nil {
 		s := &sockPort.Stats
 		fmt.Printf("port:       rx_datagrams=%d delivered=%d tx=%d tx_errors=%d\n",

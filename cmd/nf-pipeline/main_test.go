@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := make(map[string]bool)
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name      string
+		set       map[string]bool
+		supervise bool
+		every     time.Duration
+		wantErr   string // empty = valid
+	}{
+		{name: "defaults", set: set()},
+		{name: "pktgen", set: set("target", "pps", "count")},
+		{name: "listen+egress", set: set("listen", "egress")},
+		{name: "supervised checkpointing", set: set("supervise", "checkpoint-every"),
+			supervise: true, every: 10 * time.Millisecond},
+		{name: "target conflicts with listen", set: set("target", "listen"),
+			wantErr: "-target (pktgen mode) conflicts with -listen"},
+		{name: "target conflicts with supervise", set: set("target", "supervise"),
+			supervise: true, wantErr: "conflicts with -supervise"},
+		{name: "egress without listen", set: set("egress"),
+			wantErr: "needs -listen"},
+		{name: "negative epoch", set: set("supervise", "checkpoint-every"),
+			supervise: true, every: -time.Second, wantErr: "must be >= 0"},
+		{name: "checkpoint without supervise", set: set("checkpoint-every"),
+			every: 10 * time.Millisecond, wantErr: "needs -supervise"},
+		// -supervise=false -checkpoint-every 10ms: the flag was passed but
+		// the value is off — still invalid (the check is on the value).
+		{name: "checkpoint with supervise=false", set: set("supervise", "checkpoint-every"),
+			supervise: false, every: 10 * time.Millisecond, wantErr: "needs -supervise"},
+		{name: "pps without target", set: set("pps"), wantErr: "need -target"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.set, tc.supervise, tc.every)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+package domain
+
+// This file wires the paper's §5 contribution — automatic
+// checkpoint/restore of pointer-linked state — into the §3 supervised
+// runtime. A domain whose Config carries a Stateful gets snapshotted
+// periodically (Policy.CheckpointEvery) by its own serving goroutine, at
+// mailbox-quiescent points: either the inbox is empty and the epoch
+// ticker fired, or one handler invocation just completed and the next has
+// not begun. In both cases no handler is running, and handlers are the
+// only mutators the runtime drives, so the traversal races nothing on the
+// hot path. (An abandoned hung generation may still hold references —
+// Stateful implementations serialize against that with their own lock.)
+//
+// On restart the supervisor's monitor goroutine hands the last *good*
+// checkpoint to Restore instead of cold-starting: a fault mid-traversal
+// discards the half-built snapshot (it was never published) and the
+// previous token stands. Only a domain with no completed epoch resets to
+// zero state.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/telemetry"
+)
+
+// Stateful is the contract a domain's NF state implements to opt into
+// checkpointed recovery — the runtime-level shape of the paper's
+// Checkpointable trait. Implementations own their synchronization:
+// Checkpoint/Restore/Reset must take the state's internal lock, because
+// an abandoned (hung, superseded) generation can still be touching the
+// state when the current generation snapshots or the monitor restores.
+type Stateful interface {
+	// Checkpoint returns an opaque restore token capturing the state at
+	// this instant, using e (an RcAware engine by default) for the
+	// traversal. The token must be independent of the live state: later
+	// mutations must not leak into it.
+	Checkpoint(e *checkpoint.Engine) (any, error)
+	// Restore replaces the live state with the token's contents. The
+	// token is always one previously returned by Checkpoint on a state
+	// of the same shape.
+	Restore(token any) error
+	// Reset reinitializes to clean boot state — the cold start taken
+	// when no checkpoint epoch has completed (or under RestoreCold).
+	Reset()
+}
+
+// RestoreMode selects what a restarted domain's state recovery does.
+type RestoreMode int
+
+const (
+	// RestoreCheckpoint (the default) restores the last good checkpoint,
+	// cold-starting only when no epoch has completed.
+	RestoreCheckpoint RestoreMode = iota
+	// RestoreCold always resets to zero state — the ablation baseline
+	// the chaos tier and benches compare against.
+	RestoreCold
+)
+
+// String implements fmt.Stringer.
+func (m RestoreMode) String() string {
+	switch m {
+	case RestoreCheckpoint:
+		return "checkpoint"
+	case RestoreCold:
+		return "cold"
+	default:
+		return fmt.Sprintf("RestoreMode(%d)", int(m))
+	}
+}
+
+// StateSet composes named Stateful components into one Stateful, so a
+// pipeline domain can checkpoint its firewall, balancer, and session
+// table as a unit. The token is positional; errors carry the component
+// name.
+type StateSet struct {
+	names []string
+	parts []Stateful
+}
+
+// NewStateSet returns an empty set; Add components in a fixed order.
+func NewStateSet() *StateSet { return &StateSet{} }
+
+// Add appends a named component and returns the set for chaining.
+func (s *StateSet) Add(name string, st Stateful) *StateSet {
+	s.names = append(s.names, name)
+	s.parts = append(s.parts, st)
+	return s
+}
+
+// Len reports the number of components.
+func (s *StateSet) Len() int { return len(s.parts) }
+
+// Checkpoint snapshots every component under one engine epoch.
+func (s *StateSet) Checkpoint(e *checkpoint.Engine) (any, error) {
+	tokens := make([]any, len(s.parts))
+	for i, p := range s.parts {
+		t, err := p.Checkpoint(e)
+		if err != nil {
+			return nil, fmt.Errorf("state %s: %w", s.names[i], err)
+		}
+		tokens[i] = t
+	}
+	return tokens, nil
+}
+
+// Restore distributes a Checkpoint token back to the components.
+func (s *StateSet) Restore(token any) error {
+	tokens, ok := token.([]any)
+	if !ok || len(tokens) != len(s.parts) {
+		return fmt.Errorf("domain: state-set token has wrong shape (%T)", token)
+	}
+	for i, p := range s.parts {
+		if err := p.Restore(tokens[i]); err != nil {
+			return fmt.Errorf("state %s: %w", s.names[i], err)
+		}
+	}
+	return nil
+}
+
+// Reset cold-starts every component.
+func (s *StateSet) Reset() {
+	for _, p := range s.parts {
+		p.Reset()
+	}
+}
+
+// ckptToken is one published checkpoint: the adapter's opaque token plus
+// the serving epoch and wall time it was taken at.
+type ckptToken struct {
+	token any
+	epoch uint64
+	at    time.Time
+}
+
+// ckptState is a domain's checkpoint machinery, allocated only when the
+// domain has a Stateful and the policy enables epochs.
+type ckptState struct {
+	state  Stateful
+	engine *checkpoint.Engine
+	every  time.Duration
+	mode   RestoreMode
+
+	// last is the newest good checkpoint; published by the serving
+	// goroutine, consumed by the monitor's restore. Never holds a
+	// half-built snapshot: a fault during traversal leaves it untouched.
+	last atomic.Pointer[ckptToken]
+	// lastAttempt (unix nanos) paces epochs across both trigger paths
+	// (idle ticker and post-invocation dueness check).
+	lastAttempt atomic.Int64
+
+	taken      telemetry.Counter
+	failed     telemetry.Counter
+	restores   telemetry.Counter
+	coldStarts telemetry.Counter
+	ckptLat    telemetry.Histogram
+	restoreLat telemetry.Histogram
+}
+
+// due reports whether a full epoch has elapsed since the last attempt.
+func (c *ckptState) due(now time.Time) bool {
+	return now.UnixNano()-c.lastAttempt.Load() >= int64(c.every)
+}
+
+// takeCheckpoint runs one snapshot epoch on the serving goroutine. A
+// panic inside the traversal (or the adapter) is a domain fault exactly
+// like a handler panic: the error propagates to the supervisor, the
+// half-built snapshot is discarded unpublished, and the previous good
+// token keeps standing. A checkpoint *error* is softer — the domain keeps
+// serving on its last good epoch and the failure is only counted.
+func (d *Domain[T]) takeCheckpoint(epoch uint64) (fault error) {
+	ck := d.ck
+	start := time.Now()
+	ck.lastAttempt.Store(start.UnixNano())
+	defer func() {
+		if p := recover(); p != nil {
+			d.st.crashes.Add(1)
+			ck.failed.Add(1)
+			d.rec.Record(d.actor, telemetry.EvPanic, d.faultStreak.Load()+1)
+			fault = fmt.Errorf("domain %s: checkpoint panic: %v: %w", d.name, p, ErrCrashed)
+		}
+	}()
+	token, err := ck.state.Checkpoint(ck.engine)
+	if err != nil {
+		ck.failed.Add(1)
+		return nil
+	}
+	lat := time.Since(start)
+	ck.last.Store(&ckptToken{token: token, epoch: epoch, at: start})
+	ck.taken.Add(1)
+	ck.ckptLat.Observe(lat)
+	d.rec.Record(d.actor, telemetry.EvCheckpoint, uint64(lat))
+	return nil
+}
+
+// restoreOrReset is the state half of a restart, run on the monitor
+// goroutine after the sfi reference table has been recovered and the
+// user Recover hook (pipeline rebuild) has completed. With a good
+// checkpoint and RestoreCheckpoint mode the state is restored from the
+// last token; otherwise it cold-starts. A restore error is a fault — the
+// streak keeps growing, converging on degrade/stop.
+func (d *Domain[T]) restoreOrReset() error {
+	ck := d.ck
+	if last := ck.last.Load(); last != nil && ck.mode == RestoreCheckpoint {
+		start := time.Now()
+		if err := ck.state.Restore(last.token); err != nil {
+			ck.failed.Add(1)
+			return fmt.Errorf("domain %s: restore checkpoint: %w", d.name, err)
+		}
+		lat := time.Since(start)
+		ck.restores.Add(1)
+		ck.restoreLat.Observe(lat)
+		d.rec.Record(d.actor, telemetry.EvRestore, uint64(lat))
+		return nil
+	}
+	ck.state.Reset()
+	ck.coldStarts.Add(1)
+	d.rec.Record(d.actor, telemetry.EvColdStart, 0)
+	return nil
+}
+
+// LastCheckpoint reports when the newest good checkpoint was taken and
+// whether one exists — test and operational introspection.
+func (d *Domain[T]) LastCheckpoint() (time.Time, bool) {
+	if d.ck == nil {
+		return time.Time{}, false
+	}
+	last := d.ck.last.Load()
+	if last == nil {
+		return time.Time{}, false
+	}
+	return last.at, true
+}
+
+// registerCkptMetrics exports the checkpoint cells; called from
+// registerMetrics when checkpointing is enabled.
+func (d *Domain[T]) registerCkptMetrics(reg *telemetry.Registry, labels telemetry.Labels) {
+	reg.RegisterCounter("domain_checkpoints_taken_total", labels, &d.ck.taken)
+	reg.RegisterCounter("domain_checkpoint_failures_total", labels, &d.ck.failed)
+	reg.RegisterCounter("domain_restores_total", labels, &d.ck.restores)
+	reg.RegisterCounter("domain_cold_starts_total", labels, &d.ck.coldStarts)
+	reg.RegisterHistogram("domain_checkpoint_seconds", labels, &d.ck.ckptLat)
+	reg.RegisterHistogram("domain_restore_seconds", labels, &d.ck.restoreLat)
+}

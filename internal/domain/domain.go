@@ -42,6 +42,10 @@ var ErrCrashed = errors.New("domain: handler crashed")
 // retired while idle; the goroutine exits without touching domain state.
 var errSuperseded = errors.New("domain: serving generation superseded")
 
+// errCheckpointDue is the internal signal that the checkpoint ticker
+// fired while the inbox was empty — a provably quiescent snapshot point.
+var errCheckpointDue = errors.New("domain: checkpoint epoch due")
+
 // State is a domain's lifecycle state.
 type State int32
 
@@ -111,6 +115,14 @@ type Config[T any] struct {
 	// cleared and re-opened (Manager.Recover) when it runs. A Recover
 	// error counts as another fault.
 	Recover func() error
+	// State, when non-nil and Policy.CheckpointEvery > 0, opts the
+	// domain into checkpointed recovery (§5): the serving goroutine
+	// snapshots it every checkpoint epoch at mailbox-quiescent points,
+	// and a restart restores the last good snapshot (after Recover has
+	// rebuilt the handler plumbing) instead of carrying live state
+	// across the fault. With CheckpointEvery == 0 the field is ignored
+	// and state survives restarts unmanaged, as before.
+	State Stateful
 }
 
 // stats fields are telemetry cells: written by the domain goroutine and
@@ -155,6 +167,14 @@ type Snapshot struct {
 	// Degraded reports the domain is serving through its fallback
 	// handler.
 	Degraded bool
+	// Checkpoint lifecycle counters (§5 integration): epochs published,
+	// failed attempts (error or mid-traversal fault), restarts that
+	// restored the last good checkpoint, and restarts that had to
+	// cold-start. All zero when checkpointing is off.
+	Checkpoints        uint64
+	CheckpointFailures uint64
+	Restores           uint64
+	ColdStarts         uint64
 	// Mailbox counters, plus instantaneous depth.
 	MailboxDepth int
 	MailboxSends uint64
@@ -203,6 +223,9 @@ type Domain[T any] struct {
 	// invocation); the restart policy's budget applies to the streak.
 	faultStreak atomic.Uint64
 
+	// ck is the §5 checkpoint machinery; nil when checkpointing is off.
+	ck *ckptState
+
 	st   stats
 	done chan struct{} // closed when the domain stops for good
 }
@@ -226,7 +249,7 @@ func (d *Domain[T]) Done() <-chan struct{} { return d.done }
 
 // Snapshot returns a point-in-time copy of the domain's counters.
 func (d *Domain[T]) Snapshot() Snapshot {
-	return Snapshot{
+	sn := Snapshot{
 		Name:          d.name,
 		State:         d.State(),
 		Processed:     d.st.processed.Load(),
@@ -242,6 +265,13 @@ func (d *Domain[T]) Snapshot() Snapshot {
 		MailboxRecvs:  d.inbox.Stats.Recvs.Load(),
 		MailboxDrops:  d.inbox.Stats.Drops.Load(),
 	}
+	if ck := d.ck; ck != nil {
+		sn.Checkpoints = ck.taken.Load()
+		sn.CheckpointFailures = ck.failed.Load()
+		sn.Restores = ck.restores.Load()
+		sn.ColdStarts = ck.coldStarts.Load()
+	}
+	return sn
 }
 
 // serve starts a serving goroutine for the given epoch, installing its
@@ -264,11 +294,34 @@ func (d *Domain[T]) serve(epoch uint64) {
 // restarts a fresh generation), or when it discovers it was superseded.
 func (d *Domain[T]) run(epoch uint64, quit <-chan struct{}) {
 	ctx := &Ctx{SFI: sfi.NewContext(), PD: d.pd}
+	// When checkpointing is on, a per-generation ticker wakes an idle
+	// serving goroutine so quiet domains still complete epochs; under
+	// sustained traffic the post-invocation dueness check below paces the
+	// epochs instead (the recv select favors ready payloads, so the tick
+	// case would starve).
+	var tickC <-chan time.Time
+	if d.ck != nil {
+		t := time.NewTicker(d.ck.every)
+		defer t.Stop()
+		tickC = t.C
+	}
 	for {
 		if d.epoch.Load() != epoch {
 			return // superseded while idle
 		}
-		msg, err := d.inbox.recv(quit)
+		msg, err := d.inbox.recvOrTick(quit, tickC)
+		if err == errCheckpointDue {
+			// The inbox was empty when the ticker fired: the domain is
+			// quiescent, snapshot now. A checkpoint fault is reported like
+			// a handler fault.
+			if d.epoch.Load() == epoch && d.ck.due(time.Now()) {
+				if fault := d.takeCheckpoint(epoch); fault != nil {
+					d.sup.report(d, epoch, fault)
+					return
+				}
+			}
+			continue
+		}
 		if err != nil {
 			if err != errSuperseded && d.epoch.Load() == epoch {
 				d.stop()
@@ -290,6 +343,14 @@ func (d *Domain[T]) run(epoch uint64, quit <-chan struct{}) {
 			return // late success of an abandoned generation: counted, then exit
 		}
 		d.faultStreak.Store(0)
+		if d.ck != nil && d.ck.due(time.Now()) {
+			// Between invocations: the handler is not running, so the
+			// traversal races no hot-path mutator.
+			if fault := d.takeCheckpoint(epoch); fault != nil {
+				d.sup.report(d, epoch, fault)
+				return
+			}
+		}
 	}
 }
 
@@ -409,6 +470,9 @@ func (d *Domain[T]) registerMetrics(reg *telemetry.Registry, base telemetry.Labe
 		}
 		return 0
 	})
+	if d.ck != nil {
+		d.registerCkptMetrics(reg, labels)
+	}
 	reg.RegisterCounter("mailbox_sends_total", labels, &d.inbox.Stats.Sends)
 	reg.RegisterCounter("mailbox_recvs_total", labels, &d.inbox.Stats.Recvs)
 	reg.RegisterCounter("mailbox_drops_total", labels, &d.inbox.Stats.Drops)

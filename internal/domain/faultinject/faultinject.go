@@ -46,16 +46,28 @@ type Injector struct {
 }
 
 // New creates an injector with a deterministic seed. Probabilities start
-// at zero; set the fields before use.
+// at zero; set the fields before use (or toggle them mid-run with Set —
+// phased chaos scenarios flip injection on and off while traffic flows).
 func New(seed int64) *Injector {
 	return &Injector{rng: rand.New(rand.NewSource(seed)), StallFor: 10 * time.Millisecond}
 }
 
-// roll draws one uniform sample.
-func (i *Injector) roll() float64 {
+// Set replaces both probabilities under the injector's lock, so a test
+// driver can retarget a live injector while handler goroutines are
+// inside Point.
+func (i *Injector) Set(panicProb, stallProb float64) {
+	i.mu.Lock()
+	i.PanicProb = panicProb
+	i.StallProb = stallProb
+	i.mu.Unlock()
+}
+
+// roll draws one uniform sample and reads the probabilities under the
+// same lock, keeping Point race-free against a concurrent Set.
+func (i *Injector) roll() (r, panicProb, stallProb float64) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	return i.rng.Float64()
+	return i.rng.Float64(), i.PanicProb, i.StallProb
 }
 
 // Point is the injection site: call it from a handler (or operator) hot
@@ -63,12 +75,12 @@ func (i *Injector) roll() float64 {
 // StallProb, and otherwise returns immediately.
 func (i *Injector) Point(label string) {
 	i.Stats.Calls.Add(1)
-	r := i.roll()
-	if r < i.PanicProb {
+	r, panicProb, stallProb := i.roll()
+	if r < panicProb {
 		i.Stats.Panics.Add(1)
 		panic(fmt.Sprintf("faultinject: %s: injected panic (roll %.4f)", label, r))
 	}
-	if r < i.PanicProb+i.StallProb {
+	if r < panicProb+stallProb {
 		i.Stats.Stalls.Add(1)
 		time.Sleep(i.StallFor)
 	}

@@ -3,6 +3,7 @@ package domain
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/linear"
 	"repro/internal/telemetry"
@@ -197,6 +198,15 @@ func (m *Mailbox[T]) Recv() (linear.Owned[T], error) {
 // payloads. A payload already queued can still win the race against
 // quit — the caller owns (and must account for) that final delivery.
 func (m *Mailbox[T]) recv(quit <-chan struct{}) (linear.Owned[T], error) {
+	return m.recvOrTick(quit, nil)
+}
+
+// recvOrTick is recv with a checkpoint wakeup: when tick fires while the
+// queue is empty it returns errCheckpointDue, handing the serving loop a
+// mailbox-quiescent instant to snapshot at. A nil tick never fires.
+// Queued payloads always win over the tick, so checkpointing never
+// delays delivery.
+func (m *Mailbox[T]) recvOrTick(quit <-chan struct{}, tick <-chan time.Time) (linear.Owned[T], error) {
 	select {
 	case p := <-m.ch:
 		m.noteRecv()
@@ -207,6 +217,8 @@ func (m *Mailbox[T]) recv(quit <-chan struct{}) (linear.Owned[T], error) {
 	case p := <-m.ch:
 		m.noteRecv()
 		return p, nil
+	case <-tick:
+		return linear.Owned[T]{}, errCheckpointDue
 	case <-quit:
 		return linear.Owned[T]{}, errSuperseded
 	case <-m.done:

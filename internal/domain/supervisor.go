@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
 )
@@ -54,6 +55,21 @@ type Policy struct {
 	Tick time.Duration
 	// Seed makes backoff jitter deterministic (default 1).
 	Seed int64
+
+	// CheckpointEvery enables §5 checkpointed recovery for domains that
+	// carry a Config.State: each domain snapshots its state once per
+	// epoch of this length, at mailbox-quiescent points, and a restart
+	// restores the last good snapshot. 0 (the default) disables
+	// checkpointing entirely — state then survives restarts unmanaged.
+	CheckpointEvery time.Duration
+	// CheckpointMode is the engine's aliasing mode (default RcAware —
+	// the paper's Rc-flag traversal; VisitedSet is the conventional
+	// baseline the benches compare against).
+	CheckpointMode checkpoint.Mode
+	// Restore selects what a restarted domain's state recovery does:
+	// RestoreCheckpoint (default) restores the last good snapshot,
+	// RestoreCold always resets to zero state (the ablation baseline).
+	Restore RestoreMode
 
 	// Registry, when non-nil, receives every spawned domain's counters
 	// and gauges (labeled {domain=<name>} on top of Labels), the
@@ -152,11 +168,22 @@ func (d *Domain[T]) noteHang() {
 	d.rec.Record(d.actor, telemetry.EvHang, 0)
 }
 
+// recoverState is the restart's state half, on the monitor goroutine:
+// first the user Recover hook rebuilds the handler plumbing (the §3
+// recovery function — e.g. fresh pipeline instances exported into the
+// recovered reference table), then the §5 restore hands the rebuilt
+// plumbing its last good checkpoint, cold-starting only when no epoch
+// has completed (or under RestoreCold).
 func (d *Domain[T]) recoverState() error {
-	if d.recover == nil {
+	if d.recover != nil {
+		if err := d.recover(); err != nil {
+			return err
+		}
+	}
+	if d.ck == nil {
 		return nil
 	}
-	return d.recover()
+	return d.restoreOrReset()
 }
 
 // event is the monitor loop's single inbound message type: fault reports
@@ -246,6 +273,15 @@ func Spawn[T any](s *Supervisor, cfg Config[T]) (*Domain[T], error) {
 		fallbck: cfg.Fallback,
 		pd:      s.mgr.NewDomain(cfg.Name),
 		done:    make(chan struct{}),
+	}
+	if cfg.State != nil && s.policy.CheckpointEvery > 0 {
+		d.ck = &ckptState{
+			state:  cfg.State,
+			engine: checkpoint.NewEngine(s.policy.CheckpointMode),
+			every:  s.policy.CheckpointEvery,
+			mode:   s.policy.Restore,
+		}
+		d.ck.lastAttempt.Store(time.Now().UnixNano())
 	}
 	d.handler.Store(&handlerCell[T]{fn: cfg.Handler})
 	d.state.Store(int32(StateLive))
@@ -494,6 +530,10 @@ func MergeSnapshots(name string, snaps []Snapshot) Snapshot {
 		agg.Restarts += sn.Restarts
 		agg.Reclaimed += sn.Reclaimed
 		agg.TimeInBackoff += sn.TimeInBackoff
+		agg.Checkpoints += sn.Checkpoints
+		agg.CheckpointFailures += sn.CheckpointFailures
+		agg.Restores += sn.Restores
+		agg.ColdStarts += sn.ColdStarts
 		agg.Degraded = agg.Degraded || sn.Degraded
 		agg.MailboxDepth += sn.MailboxDepth
 		agg.MailboxSends += sn.MailboxSends

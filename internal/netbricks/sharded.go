@@ -105,6 +105,13 @@ type ShardedRunner struct {
 	// MailboxDepth is the per-worker inbox capacity in batches for
 	// supervised mode (default 4).
 	MailboxDepth int
+	// NewState, when non-nil in supervised mode, gives each worker
+	// domain its NF state for checkpointed recovery (§5): with
+	// Policy.CheckpointEvery set, the worker's serving goroutine
+	// snapshots the state periodically and a restart restores the last
+	// good snapshot after the pipeline rebuild. The factory runs once
+	// per worker, before traffic starts.
+	NewState func(worker int) domain.Stateful
 
 	// Registry, when non-nil, receives every worker's counters and batch
 	// latency histogram at Run time (labels {worker=<n>}); in supervised

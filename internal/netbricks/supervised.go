@@ -164,6 +164,10 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 	if depth <= 0 {
 		depth = 4
 	}
+	var state domain.Stateful
+	if r.NewState != nil {
+		state = r.NewState(w)
+	}
 	return domain.Spawn(sup, domain.Config[*Batch]{
 		Name:    fmt.Sprintf("worker-%d", w),
 		Mailbox: depth,
@@ -175,6 +179,7 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 			free(b.Dropped)
 		},
 		Recover: recoverFn,
+		State:   state,
 	})
 }
 

@@ -413,11 +413,14 @@ func (p *Port) RxBurst(out []*packet.Packet) int { return p.RxBurstQueue(0, out)
 // TxBurstQueue transmits pkts from the worker owning queue q — one UDP
 // datagram per frame to the configured TxTarget (pure accounting when
 // the port is a sink) — and recycles the buffers through the queue's
-// local cache. A failed write counts TxErrors but still recycles: a wire
-// error never leaks an mbuf. Concurrent callers on different queues are
-// safe; the kernel serializes socket writes.
+// local cache, returning the number of datagrams transmitted. A failed
+// write counts only TxErrors — never TxPackets/TxBytes, so a dead
+// egress socket cannot report full throughput — but still recycles: a
+// wire error never leaks an mbuf. Concurrent callers on different
+// queues are safe; the kernel serializes socket writes.
 func (p *Port) TxBurstQueue(q int, pkts []*packet.Packet) int {
 	rq := p.queue(q)
+	sent := 0
 	for _, pkt := range pkts {
 		if pkt == nil {
 			continue
@@ -425,10 +428,12 @@ func (p *Port) TxBurstQueue(q int, pkts []*packet.Packet) int {
 		if p.txDst != nil {
 			if _, err := p.conn.WriteToUDP(pkt.Data, p.txDst); err != nil {
 				p.Stats.TxErrors.Inc()
+				continue
 			}
 		}
 		p.Stats.TxPackets.Inc()
 		p.Stats.TxBytes.Add(uint64(pkt.Len()))
+		sent++
 	}
 	rq.mu.Lock()
 	for _, pkt := range pkts {
@@ -437,7 +442,7 @@ func (p *Port) TxBurstQueue(q int, pkts []*packet.Packet) int {
 		}
 	}
 	rq.mu.Unlock()
-	return len(pkts)
+	return sent
 }
 
 // TxBurst transmits from queue 0 (single-queue convenience).

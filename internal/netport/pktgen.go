@@ -35,8 +35,43 @@ type Pktgen struct {
 
 // paceBatch is how many sends happen between pacing checks; small enough
 // that a 100k pps run corrects drift every ~600µs, large enough that
-// time.Now and time.Sleep stay off the per-packet path.
+// time.Now and time.Sleep stay off the per-packet path. The stop channel
+// is checked every send (a non-blocking select costs nanoseconds), so a
+// stopped generator emits at most the datagram already in flight.
 const paceBatch = 64
+
+// stopped reports whether stop has closed; a nil stop never stops.
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepLead sleeps off a positive schedule lead, returning false when
+// stop closes during the wait — pacing sleeps never delay a stop.
+func sleepLead(lead time.Duration, stop <-chan struct{}) bool {
+	if lead <= 0 {
+		return true
+	}
+	if stop == nil {
+		time.Sleep(lead)
+		return true
+	}
+	t := time.NewTimer(lead)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
 
 // Run sends the configured load and returns the number of datagrams
 // handed to the kernel. It stops early — without error — when stop
@@ -71,24 +106,27 @@ func (g *Pktgen) Run(stop <-chan struct{}) (sent int, err error) {
 
 	start := time.Now()
 	for i := 0; g.Count == 0 || i < g.Count; i++ {
-		if stop != nil && i%paceBatch == 0 {
-			select {
-			case <-stop:
-				return sent, nil
-			default:
-			}
+		if stopped(stop) {
+			return sent, nil
 		}
 		if g.PPS > 0 && i > 0 && i%paceBatch == 0 {
 			// Sleep off any lead over the ideal schedule.
 			ideal := time.Duration(i) * time.Second / time.Duration(g.PPS)
-			if lead := ideal - time.Since(start); lead > 0 {
-				time.Sleep(lead)
+			if !sleepLead(ideal-time.Since(start), stop) {
+				return sent, nil
 			}
 		}
 		if _, err := conn.Write(frames[i%flows]); err != nil {
 			return sent, fmt.Errorf("netport: pktgen send: %w", err)
 		}
 		sent++
+	}
+	// Pace the final partial batch: without this, a Count < paceBatch run
+	// never paces at all and any run finishes up to paceBatch-1 sends
+	// ahead of schedule — a Count/PPS run takes ≈ Count/PPS seconds.
+	if g.PPS > 0 && sent > 0 {
+		ideal := time.Duration(sent) * time.Second / time.Duration(g.PPS)
+		sleepLead(ideal-time.Since(start), stop)
 	}
 	return sent, nil
 }

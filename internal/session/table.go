@@ -1,0 +1,192 @@
+package session
+
+// table.go grows the package beyond session-typed channels: a session
+// *table* — the flow-tracking NF whose live state is the pointer-linked
+// graph the §5 checkpoint engine snapshots in production. Every tracked
+// flow holds its backend through checkpoint.Rc, and flows steered to the
+// same backend share one Rc box (Figure 3a's aliasing, on live state):
+// an RcAware checkpoint copies each backend exactly once, while the
+// VisitedSet baseline pays a table probe per handle — the contrast the
+// checkpoint benches measure on this very structure.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/netbricks"
+	"repro/internal/packet"
+)
+
+// Backend identifies the upstream a flow was steered to — the maglev
+// rewrite observed on the wire. Kept behind an Rc so all flows to one
+// backend share a single box.
+type Backend struct {
+	IP packet.IPv4
+}
+
+// Flow is one tracked five-tuple and its shared backend handle, plus
+// soft byte/packet counters (deltas since the last checkpoint are lost
+// across a fault; flow identity is not).
+type Flow struct {
+	Tuple   packet.FiveTuple
+	Backend checkpoint.Rc[Backend]
+	Packets uint64
+	Bytes   uint64
+}
+
+// tableImage is the checkpointed shape of a Table: just the flow graph.
+// The backend intern map is derived state, rebuilt on restore.
+type tableImage struct {
+	Flows map[uint64]*Flow
+}
+
+// Table is the session table: flow hash → Flow, with an intern map
+// handing each distinct backend one shared Rc box. All methods take the
+// table's lock, including Checkpoint/Restore/Reset — the domain
+// runtime's Stateful contract requires the state to serialize against
+// abandoned generations itself.
+type Table struct {
+	mu     sync.Mutex
+	flows  map[uint64]*Flow
+	intern map[packet.IPv4]checkpoint.Rc[Backend]
+}
+
+// NewTable creates an empty session table.
+func NewTable() *Table {
+	return &Table{
+		flows:  make(map[uint64]*Flow),
+		intern: make(map[packet.IPv4]checkpoint.Rc[Backend]),
+	}
+}
+
+// Track records one packet of flow tu steered to backend ip. New flows
+// clone the interned backend handle (bumping its strong count); known
+// flows just bump counters.
+func (t *Table) Track(tu packet.FiveTuple, ip packet.IPv4, nbytes int) {
+	h := tu.Hash()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.flows[h]
+	if !ok {
+		rc, interned := t.intern[ip]
+		if !interned {
+			rc = checkpoint.NewRc(Backend{IP: ip})
+			t.intern[ip] = rc
+		}
+		f = &Flow{Tuple: tu, Backend: rc.Clone()}
+		t.flows[h] = f
+	}
+	f.Packets++
+	f.Bytes += uint64(nbytes)
+}
+
+// Len reports the number of tracked flows.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flows)
+}
+
+// Backends reports the number of distinct interned backends.
+func (t *Table) Backends() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.intern)
+}
+
+// Entries returns flow hash → backend IP: the restorable identity of the
+// table, the shape the chaos tier compares against its fault-free
+// oracle. (Packet/byte counters are soft deltas a fault may lose.)
+func (t *Table) Entries() map[uint64]packet.IPv4 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint64]packet.IPv4, len(t.flows))
+	for h, f := range t.flows {
+		out[h] = f.Backend.Get().IP
+	}
+	return out
+}
+
+// Checkpoint implements the domain runtime's Stateful contract: a deep
+// snapshot of the flow graph under the table lock. Rc sharing between
+// flows is preserved according to the engine's mode.
+func (t *Table) Checkpoint(e *checkpoint.Engine) (any, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return e.Checkpoint(&tableImage{Flows: t.flows})
+}
+
+// Restore replaces the live table with a fresh materialization of a
+// Checkpoint token and rebuilds the backend intern map from the restored
+// flows' shared handles. Materializing (rather than installing the
+// snapshot's graph directly) keeps the token reusable: a later fault can
+// restore from the same epoch again without aliasing the first restore's
+// since-mutated state.
+func (t *Table) Restore(token any) error {
+	snap, ok := token.(*checkpoint.Snapshot)
+	if !ok {
+		return fmt.Errorf("session: restore token is %T, want *checkpoint.Snapshot", token)
+	}
+	v, err := snap.Materialize()
+	if err != nil {
+		return fmt.Errorf("session: materialize: %w", err)
+	}
+	img, ok := v.(*tableImage)
+	if !ok {
+		return fmt.Errorf("session: snapshot holds %T, want *tableImage", v)
+	}
+	if img.Flows == nil {
+		img.Flows = make(map[uint64]*Flow)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flows = img.Flows
+	t.intern = make(map[packet.IPv4]checkpoint.Rc[Backend])
+	for _, f := range img.Flows {
+		if f.Backend.IsZero() {
+			continue
+		}
+		ip := f.Backend.Get().IP
+		if _, seen := t.intern[ip]; !seen {
+			t.intern[ip] = f.Backend
+		}
+	}
+	return nil
+}
+
+// Reset cold-starts the table to empty.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flows = make(map[uint64]*Flow)
+	t.intern = make(map[packet.IPv4]checkpoint.Rc[Backend])
+}
+
+// Operator adapts the table into a NetBricks stage placed after the load
+// balancer: at that point the packet's destination IP (and UserTag) is
+// the chosen backend, so each parsed packet records one Track call.
+type Operator struct {
+	T *Table
+}
+
+// Name implements netbricks.Operator.
+func (Operator) Name() string { return "session" }
+
+// ProcessBatch implements netbricks.Operator.
+func (o Operator) ProcessBatch(b *netbricks.Batch) error {
+	for _, p := range b.Pkts {
+		if !p.Parsed() {
+			continue
+		}
+		tu := p.Tuple()
+		ip := tu.DstIP
+		if p.UserTag != 0 {
+			ip = packet.IPv4(p.UserTag)
+		}
+		o.T.Track(tu, ip, p.Len())
+	}
+	return nil
+}
+
+var _ netbricks.Operator = Operator{}

@@ -37,6 +37,15 @@ const (
 	EvDegrade
 	// EvStop: the domain stopped for good.
 	EvStop
+	// EvCheckpoint: a domain published a state checkpoint. Arg =
+	// traversal latency in nanoseconds.
+	EvCheckpoint
+	// EvRestore: a restarted domain restored the last good checkpoint.
+	// Arg = restore latency in nanoseconds.
+	EvRestore
+	// EvColdStart: a restarted domain had no completed checkpoint epoch
+	// and reset to zero state instead.
+	EvColdStart
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +71,12 @@ func (k EventKind) String() string {
 		return "degrade"
 	case EvStop:
 		return "stop"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvRestore:
+		return "restore"
+	case EvColdStart:
+		return "coldstart"
 	default:
 		return fmt.Sprintf("kind(%d)", uint32(k))
 	}
