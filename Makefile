@@ -11,7 +11,12 @@ RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal
 # Per-benchmark time for the JSON bench run; raise for stabler numbers.
 BENCHTIME ?= 0.5s
 
-.PHONY: check build test test-e2e race race-all vet guard-atomics fuzz bench bench-all
+# Floor for the loopback throughput gate: the recorded batched-syscall
+# number (~400k pps sustained through the full pipeline on this class of
+# single-core machine) minus 20% of headroom for scheduler noise.
+NETPORT_PPS_FLOOR ?= 320000
+
+.PHONY: check build test test-e2e race race-all vet guard-atomics fuzz bench bench-all bench-gate
 
 ## check: the PR gate — vet, build, full tests, race tier, e2e tier,
 ## atomics guard.
@@ -79,3 +84,9 @@ bench:
 ## bench-all: the full testing.B harness (human-readable only).
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem .
+
+## bench-gate: perf regression gate — reruns the loopback throughput
+## bench and fails if sustained pps falls below NETPORT_PPS_FLOOR.
+bench-gate:
+	$(GO) test -run='^$$' -bench='NetportLoopback$$' -benchtime=2s -count=1 ./internal/netport \
+		| $(GO) run ./cmd/benchgate -bench BenchmarkNetportLoopback -metric pps -min $(NETPORT_PPS_FLOOR)

@@ -1,0 +1,111 @@
+// Command benchgate fails a build when a benchmark metric regresses
+// below a floor. It closes the loop the JSON bench records open: the
+// numbers in BENCH_*.json show the perf trajectory, and benchgate turns
+// one of them into a hard gate —
+//
+//	go test -run='^$' -bench='NetportLoopback$' ./internal/netport \
+//	    | benchgate -bench BenchmarkNetportLoopback -metric pps -min 320000
+//
+// reads `go test -bench` output on stdin (echoed unchanged, like
+// benchjson), or with -file reads a benchjson-written JSON record
+// instead, and exits nonzero if the named benchmark's metric is missing
+// or below -min. Floors are set ~20% under the recorded number so
+// scheduler noise does not flap the gate but a real regression trips it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// gomaxprocsSuffix is the "-8" style suffix go test appends to benchmark
+// names; stripping it keeps names stable across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	bench := flag.String("bench", "", "benchmark name to gate (required)")
+	metric := flag.String("metric", "pps", "metric unit to compare")
+	min := flag.Float64("min", 0, "floor: fail if the metric is below this")
+	file := flag.String("file", "", "read a benchjson JSON record instead of bench output on stdin")
+	flag.Parse()
+	if *bench == "" {
+		log.Fatal("-bench is required")
+	}
+
+	var value float64
+	var found bool
+	if *file != "" {
+		value, found = fromJSON(*file, *bench, *metric)
+	} else {
+		value, found = fromStdin(*bench, *metric)
+	}
+	if !found {
+		log.Fatalf("benchmark %s has no %q metric", *bench, *metric)
+	}
+	if value < *min {
+		log.Fatalf("REGRESSION: %s %s = %.0f, below the floor %.0f", *bench, *metric, value, *min)
+	}
+	log.Printf("ok: %s %s = %.0f (floor %.0f)", *bench, *metric, value, *min)
+}
+
+// fromJSON reads a benchjson record (benchmark name → unit → value).
+func fromJSON(path, bench, metric string) (float64, bool) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := map[string]map[string]float64{}
+	if err := json.Unmarshal(buf, &results); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	v, ok := results[bench][metric]
+	return v, ok
+}
+
+// fromStdin scans `go test -bench` output, echoing it unchanged, and
+// returns the gated benchmark's metric. A run that never prints PASS
+// (build failure, bench panic) fails the gate regardless of the metric.
+func fromStdin(bench, metric string) (float64, bool) {
+	var value float64
+	var found, pass bool
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if line == "PASS" || strings.HasPrefix(line, "ok ") {
+			pass = true
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || gomaxprocsSuffix.ReplaceAllString(f[0], "") != bench {
+			continue
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			if f[i+1] != metric {
+				continue
+			}
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				value, found = v, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if !pass {
+		log.Fatal("benchmark run did not report PASS")
+	}
+	return value, found
+}

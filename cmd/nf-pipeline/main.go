@@ -25,8 +25,13 @@
 //	nf-pipeline -listen 127.0.0.1:9000 -workers 4 -supervise
 //	                                     # socket-backed port instead of the
 //	                                     # simulated NIC; -egress to forward
+//	nf-pipeline -listen 127.0.0.1:9000 -workers 4 -reuseport
+//	                                     # SO_REUSEPORT: one receive socket
+//	                                     # per worker, kernel fan-out
 //	nf-pipeline -target 127.0.0.1:9000 -pps 100000 -duration 10s
 //	                                     # pktgen: drive the listener
+//	                                     # (-sockets spreads source ports so
+//	                                     # a -reuseport listener fans out)
 //
 // Contradictory flag sets (e.g. -listen with -target, or
 // -checkpoint-every without -supervise) are rejected up front with a
@@ -90,8 +95,8 @@ func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Dur
 	if set["target"] {
 		// Pktgen mode: only pktgen knobs make sense alongside it.
 		for _, name := range []string{
-			"listen", "egress", "direct", "supervise", "inject", "crashrate",
-			"checkpoint-every", "workers", "batches", "size",
+			"listen", "egress", "reuseport", "direct", "supervise", "inject",
+			"crashrate", "checkpoint-every", "workers", "batches", "size",
 			"metrics-addr", "stats-interval",
 		} {
 			if set[name] {
@@ -102,6 +107,12 @@ func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Dur
 	}
 	if set["egress"] && !set["listen"] {
 		return fmt.Errorf("-egress forwards received traffic; it needs -listen")
+	}
+	if set["reuseport"] && !set["listen"] {
+		return fmt.Errorf("-reuseport opens per-worker receive sockets; it needs -listen")
+	}
+	if set["sockets"] {
+		return fmt.Errorf("-sockets spreads pktgen load over source sockets; it needs -target")
 	}
 	if checkpointEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be >= 0")
@@ -131,13 +142,15 @@ func main() {
 		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/flightrecorder on this address (e.g. :9090)")
 		statsInterval = flag.Duration("stats-interval", 0, "log a JSON metrics snapshot at this interval (0 = off)")
 
-		listen = flag.String("listen", "", "receive real overlay traffic on this UDP address (socket-backed port instead of the simulated NIC)")
-		egress = flag.String("egress", "", "with -listen: forward transmitted frames to this UDP address (default: count and recycle)")
+		listen    = flag.String("listen", "", "receive real overlay traffic on this UDP address (socket-backed port instead of the simulated NIC)")
+		egress    = flag.String("egress", "", "with -listen: forward transmitted frames to this UDP address (default: count and recycle)")
+		reuseport = flag.Bool("reuseport", false, "with -listen: SO_REUSEPORT kernel fan-out — one receive socket per worker instead of the software distributor (Linux; falls back silently elsewhere)")
 
 		target   = flag.String("target", "", "pktgen mode: send synthetic overlay traffic to this UDP address and exit")
 		pps      = flag.Int("pps", 100000, "pktgen: offered load in packets per second (0 = unpaced)")
 		count    = flag.Int("count", 0, "pktgen: datagrams to send (0 = send for -duration)")
 		duration = flag.Duration("duration", 10*time.Second, "pktgen: how long to send when -count is 0")
+		sockets  = flag.Int("sockets", 16, "pktgen: source sockets to spread flows over (REUSEPORT receivers need the source-port entropy)")
 
 		checkpointEvery = flag.Duration("checkpoint-every", 0, "with -supervise: snapshot each worker's NF state at this epoch length; restarts restore the last good snapshot (0 = off)")
 	)
@@ -150,7 +163,7 @@ func main() {
 		osExit(2)
 	}
 	if *target != "" {
-		runPktgen(*target, *pps, *count, *duration, *flows)
+		runPktgen(*target, *pps, *count, *duration, *flows, *sockets, *size)
 		return
 	}
 	if *workers < 1 {
@@ -224,7 +237,9 @@ func main() {
 			Listen:    *listen,
 			Queues:    *workers,
 			RingSize:  ringSize,
+			BatchSize: *size, // one recvmmsg fills one worker batch
 			CacheSize: cacheSize,
+			ReusePort: *reuseport,
 			// A generous poll grace: the run ends 8 idle polls (~800ms)
 			// after the wire goes quiet, not mid-burst.
 			PollWait: 100 * time.Millisecond,
@@ -236,7 +251,11 @@ func main() {
 		}
 		defer sockPort.Close()
 		sockPort.RegisterMetrics(reg, telemetry.Labels{"port": "net0"})
-		log.Printf("listening for overlay traffic on %s (%d rx queues)", sockPort.Addr(), *workers)
+		fanout := "software distributor"
+		if sockPort.ReusePortActive() {
+			fanout = "SO_REUSEPORT kernel fan-out"
+		}
+		log.Printf("listening for overlay traffic on %s (%d rx queues, %s)", sockPort.Addr(), *workers, fanout)
 		port = sockPort
 	} else {
 		simPort = dpdk.NewPort(dpdk.Config{
@@ -452,13 +471,15 @@ func main() {
 // runPktgen is the -target mode: drive a listening nf-pipeline (or any
 // netport) with paced synthetic overlay traffic, then report the offered
 // rate.
-func runPktgen(target string, pps, count int, duration time.Duration, flows int) {
+func runPktgen(target string, pps, count int, duration time.Duration, flows, sockets, batch int) {
 	gen := &netport.Pktgen{
-		Target: target,
-		Base:   dpdk.DefaultSpec(),
-		Flows:  flows,
-		PPS:    pps,
-		Count:  count,
+		Target:  target,
+		Base:    dpdk.DefaultSpec(),
+		Flows:   flows,
+		PPS:     pps,
+		Count:   count,
+		Sockets: sockets,
+		Batch:   batch,
 	}
 	var stop chan struct{}
 	if count == 0 {
@@ -467,9 +488,9 @@ func runPktgen(target string, pps, count int, duration time.Duration, flows int)
 			time.Sleep(duration)
 			close(stop)
 		}()
-		log.Printf("pktgen: %s for %s at %d pps (%d flows)", target, duration, pps, flows)
+		log.Printf("pktgen: %s for %s at %d pps (%d flows over %d sockets)", target, duration, pps, flows, sockets)
 	} else {
-		log.Printf("pktgen: %s, %d datagrams at %d pps (%d flows)", target, count, pps, flows)
+		log.Printf("pktgen: %s, %d datagrams at %d pps (%d flows over %d sockets)", target, count, pps, flows, sockets)
 	}
 	start := time.Now()
 	sent, err := gen.Run(stop)

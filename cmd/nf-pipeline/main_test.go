@@ -41,6 +41,14 @@ func TestValidateFlags(t *testing.T) {
 		{name: "checkpoint with supervise=false", set: set("supervise", "checkpoint-every"),
 			supervise: false, every: 10 * time.Millisecond, wantErr: "needs -supervise"},
 		{name: "pps without target", set: set("pps"), wantErr: "need -target"},
+		{name: "listen+reuseport", set: set("listen", "reuseport")},
+		{name: "pktgen with sockets", set: set("target", "sockets", "pps")},
+		{name: "target conflicts with reuseport", set: set("target", "reuseport"),
+			wantErr: "conflicts with -reuseport"},
+		{name: "reuseport without listen", set: set("reuseport"),
+			wantErr: "needs -listen"},
+		{name: "sockets without target", set: set("sockets"),
+			wantErr: "needs -target"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

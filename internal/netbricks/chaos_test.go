@@ -212,10 +212,12 @@ func TestChaosSupervisedPipeline(t *testing.T) {
 		}
 		const perWorker = 400
 		port, err := netport.Open(netport.Config{
-			Listen:   "127.0.0.1:0",
-			Queues:   workers,
-			RingSize: 256,
-			PollWait: 20 * time.Millisecond,
+			Listen:    "127.0.0.1:0",
+			Queues:    workers,
+			RingSize:  256,
+			BatchSize: batchSize,
+			ReusePort: true, // kernel fan-out under chaos; distributor fallback off Linux
+			PollWait:  20 * time.Millisecond,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -234,10 +236,11 @@ func TestChaosSupervisedPipeline(t *testing.T) {
 			}
 		})
 		gen := &netport.Pktgen{
-			Target: port.Addr().String(),
-			Base:   dpdk.DefaultSpec(),
-			Flows:  64,
-			PPS:    50000,
+			Target:  port.Addr().String(),
+			Base:    dpdk.DefaultSpec(),
+			Flows:   64,
+			Sockets: 64, // source-port entropy so the REUSEPORT group fans out
+			PPS:     50000,
 		}
 		go func() {
 			_, err := gen.Run(stop)

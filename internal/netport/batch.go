@@ -1,0 +1,72 @@
+// Batched socket I/O boundary. The hot path's syscall cost is amortized
+// by moving whole bursts of datagrams across the kernel boundary per
+// call: recvmmsg/sendmmsg on Linux (batch_linux.go), and a portable
+// one-message-per-call fallback everywhere else, so non-Linux builds
+// compile and every test still passes — just without the amortization.
+//
+// batchConn is deliberately tiny so tests can substitute fakes (the
+// partial-send regression test injects a WriteBatch that accepts k<n
+// messages mid-burst) and so the port and the pktgen share one
+// implementation of the boundary.
+package netport
+
+import (
+	"net"
+)
+
+// batchConn is the batched-syscall edge of a UDP socket.
+type batchConn interface {
+	// ReadBatch fills bufs[i] with one datagram each, in order, and
+	// returns how many datagrams were read, with their lengths in
+	// lens[:n]. It blocks until at least one datagram (or an error) is
+	// available; a datagram longer than its buffer is silently truncated
+	// to the buffer length, exactly like a plain socket read.
+	ReadBatch(bufs [][]byte, lens []int) (int, error)
+	// WriteBatch hands each payload to the kernel as one datagram
+	// addressed to dst (nil dst = the socket's connected peer) and
+	// returns how many the kernel accepted. One kernel attempt: a short
+	// return means the socket refused mid-burst (buffer full, error);
+	// the caller decides whether the tail is retried or drop-tailed.
+	WriteBatch(payloads [][]byte, dst *net.UDPAddr) (int, error)
+	// BatchCap reports the largest burst a single Read/WriteBatch call
+	// can move — 1 for the portable fallback — so callers size their
+	// staging to what one syscall can actually carry.
+	BatchCap() int
+}
+
+// genericConn is the portable fallback: one datagram per syscall through
+// the plain net.UDPConn API. Linux builds never construct it on the hot
+// path, but it compiles (and is tested) everywhere so the fallback can't
+// rot.
+type genericConn struct {
+	c *net.UDPConn
+}
+
+func (g *genericConn) BatchCap() int { return 1 }
+
+func (g *genericConn) ReadBatch(bufs [][]byte, lens []int) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	n, err := g.c.Read(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	lens[0] = n
+	return 1, nil
+}
+
+func (g *genericConn) WriteBatch(payloads [][]byte, dst *net.UDPAddr) (int, error) {
+	for i, p := range payloads {
+		var err error
+		if dst == nil {
+			_, err = g.c.Write(p)
+		} else {
+			_, err = g.c.WriteToUDP(p, dst)
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(payloads), nil
+}

@@ -1,0 +1,26 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Portable stand-ins for the Linux batched-syscall fast path: one
+// datagram per call, no SO_REUSEPORT groups. Open falls back to the
+// single-socket software distributor on these platforms, so the port's
+// semantics — exact per-cause accounting, drop-tail shedding, flow
+// affinity via RETA steering — are identical; only the syscall
+// amortization is missing.
+package netport
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortAvailable reports whether Open can build an SO_REUSEPORT
+// socket group on this platform.
+const reusePortAvailable = false
+
+func newBatchConn(c *net.UDPConn) (batchConn, error) {
+	return &genericConn{c: c}, nil
+}
+
+func listenReusePort(string) (*net.UDPConn, error) {
+	return nil, errors.New("netport: SO_REUSEPORT groups unsupported on this platform")
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package netport
+
+// The frozen syscall package on linux/amd64 stops short of sendmmsg;
+// both numbers are declared here from the kernel's x86_64 table.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

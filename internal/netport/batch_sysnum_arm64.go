@@ -1,0 +1,9 @@
+//go:build linux
+
+package netport
+
+// Generic (asm-generic) syscall numbers, as used by arm64.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,9 +1,12 @@
 // Loopback throughput bench: pktgen → kernel UDP loopback → netport →
 // supervised 4-worker sharded pipeline (parse → firewall → maglev).
 // Unlike the in-process pipeline benches this pays for real syscalls on
-// both sides of the port, so the number is a floor on what the runtime
-// sustains with a kernel in the loop — the acceptance bar is 100k pps.
-// The overload variant offers 2x and reports what ingress shed.
+// both sides of the port — amortized by recvmmsg/sendmmsg batches — so
+// the number is a floor on what the runtime sustains with a kernel in
+// the loop. The overload variant offers more than the pipeline drains
+// into deliberately small rings, so shedding happens at the rings where
+// the port's exact per-cause counters see it: shed_pps comes from
+// ring_full/parse_error/pool_empty, not from inferred socket loss.
 package netport_test
 
 import (
@@ -43,29 +46,40 @@ func benchPipeline(b *testing.B) func(w int) *netbricks.Pipeline {
 	}
 }
 
-func benchLoopback(b *testing.B, pps, ringSize int) {
-	const (
-		workers   = 4
-		batchSize = 32
-	)
+// benchOpts parameterizes one loopback bench configuration.
+type benchOpts struct {
+	pps     int // offered rate (0 = unpaced: the generator's ceiling)
+	ring    int
+	batch   int  // syscall burst on both sides
+	sockets int  // pktgen source sockets (REUSEPORT entropy)
+	reuse   bool // kernel fan-out instead of the software distributor
+}
+
+func benchLoopback(b *testing.B, o benchOpts) {
+	const workers = 4
 	port, err := netport.Open(netport.Config{
-		Listen:   "127.0.0.1:0",
-		Queues:   workers,
-		RingSize: ringSize,
-		PollWait: 2 * time.Millisecond, // short end-of-traffic grace: 8 idle polls = 16ms tail
+		Listen:     "127.0.0.1:0",
+		Queues:     workers,
+		RingSize:   o.ring,
+		BatchSize:  o.batch,
+		ReusePort:  o.reuse,
+		ReadBuffer: 1 << 20,
+		PollWait:   2 * time.Millisecond, // short end-of-traffic grace: 8 idle polls = 16ms tail
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	gen := &netport.Pktgen{
-		Target: port.Addr().String(),
-		Base:   dpdk.DefaultSpec(),
-		Flows:  64,
-		PPS:    pps,
-		Count:  b.N,
+		Target:  port.Addr().String(),
+		Base:    dpdk.DefaultSpec(),
+		Flows:   64,
+		Sockets: o.sockets,
+		Batch:   o.batch,
+		PPS:     o.pps,
+		Count:   b.N,
 	}
 	r := &netbricks.ShardedRunner{
-		Port: port, Workers: workers, BatchSize: batchSize,
+		Port: port, Workers: workers, BatchSize: o.batch,
 		NewDirect: benchPipeline(b),
 		Supervise: true,
 	}
@@ -88,9 +102,15 @@ func benchLoopback(b *testing.B, pps, ringSize int) {
 	}
 
 	delivered := port.Stats.RxPackets.Load()
+	// Shed load from the port's exact per-cause counters — what ingress
+	// consciously dropped, with ring_full carrying the overload story.
 	shed := port.Stats.RingFull.Load() + port.Stats.ParseError.Load() + port.Stats.PoolEmpty.Load()
 	b.ReportMetric(float64(stats.Packets)/elapsed.Seconds(), "pps")
 	b.ReportMetric(float64(shed)/elapsed.Seconds(), "shed_pps")
+	if batches := port.Stats.RxBatches.Load(); batches > 0 {
+		// Realized burst occupancy: datagrams each recvmmsg carried.
+		b.ReportMetric(float64(port.Stats.RxDatagrams.Load())/float64(batches), "dgrams_per_rxbatch")
+	}
 	// Loss the kernel ate at the socket buffer, invisible to the port's
 	// own exact accounting (sent minus everything the port read).
 	b.ReportMetric(float64(uint64(b.N)-delivered-shed)/float64(b.N), "sockloss_ratio")
@@ -103,11 +123,19 @@ func benchLoopback(b *testing.B, pps, ringSize int) {
 	}
 }
 
-// BenchmarkNetportLoopback offers 125k pps, comfortably over the 100k
-// acceptance floor, and reports the sustained pipeline rate.
-func BenchmarkNetportLoopback(b *testing.B) { benchLoopback(b, 125000, 1024) }
+// BenchmarkNetportLoopback is the headline number: kernel REUSEPORT
+// fan-out, 64-datagram syscall bursts, offered load paced near the
+// loopback ceiling of this class of machine. The acceptance floor
+// guarded by `make bench-gate` sits 20% under the recorded result.
+func BenchmarkNetportLoopback(b *testing.B) {
+	benchLoopback(b, benchOpts{pps: 450000, ring: 2048, batch: 64, sockets: 16, reuse: true})
+}
 
-// BenchmarkNetportLoopbackOverload offers 2x that rate into smaller
-// rings; the shed_pps metric shows drop-tail doing its job while the
-// pipeline keeps forwarding at its own pace.
-func BenchmarkNetportLoopbackOverload(b *testing.B) { benchLoopback(b, 250000, 256) }
+// BenchmarkNetportLoopbackOverload offers an unpaced firehose into
+// small rings: the rings — not the kernel socket buffer — are the
+// bottleneck, so the overload shows up in ring_full and shed_pps is
+// nonzero from exact counters while the pipeline forwards at its own
+// pace.
+func BenchmarkNetportLoopbackOverload(b *testing.B) {
+	benchLoopback(b, benchOpts{pps: 500000, ring: 256, batch: 64, sockets: 16, reuse: true})
+}

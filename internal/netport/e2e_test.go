@@ -92,9 +92,11 @@ func waitQuiescent(t *testing.T, p *netport.Port) {
 }
 
 // TestE2ELoopbackPipeline is the acceptance path: pktgen → UDP loopback
-// → netport RSS steering → supervised 4-worker pipeline → tx socket.
-// Asserts zero mbuf leaks, every worker seeing traffic (RSS balance),
-// exact datagram accounting, and forwarded frames reaching the sink.
+// → netport batched ingress (SO_REUSEPORT kernel fan-out on Linux, the
+// software distributor elsewhere) → supervised 4-worker pipeline → tx
+// socket. Asserts zero mbuf leaks, every worker seeing traffic (fan-out
+// balance), exact datagram accounting, and forwarded frames reaching
+// the sink.
 func TestE2ELoopbackPipeline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e loopback tier skipped in -short")
@@ -108,12 +110,14 @@ func TestE2ELoopbackPipeline(t *testing.T) {
 	sinkAddr, sinkGot := sinkListen(t)
 	rec := telemetry.NewRecorder(1024)
 	port, err := netport.Open(netport.Config{
-		Listen:   "127.0.0.1:0",
-		Queues:   workers,
-		RingSize: 1024,
-		PollWait: 20 * time.Millisecond, // 8 idle polls = 160ms end-of-traffic grace
-		TxTarget: sinkAddr,
-		Recorder: rec,
+		Listen:    "127.0.0.1:0",
+		Queues:    workers,
+		RingSize:  1024,
+		BatchSize: batchSize,
+		ReusePort: true, // kernel fan-out on Linux; silent distributor fallback elsewhere
+		PollWait:  20 * time.Millisecond, // 8 idle polls = 160ms end-of-traffic grace
+		TxTarget:  sinkAddr,
+		Recorder:  rec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -122,11 +126,13 @@ func TestE2ELoopbackPipeline(t *testing.T) {
 	t.Cleanup(func() { port.Close() }) // LIFO: Close settles the pool before leakcheck reads it
 
 	gen := &netport.Pktgen{
-		Target: port.Addr().String(),
-		Base:   dpdk.DefaultSpec(),
-		Flows:  flows,
-		PPS:    40000, // paced under the rx loop's drain rate: kernel socket-buffer drops stay out of the accounting
-		Count:  sendCount,
+		Target:  port.Addr().String(),
+		Base:    dpdk.DefaultSpec(),
+		Flows:   flows,
+		Sockets: 32, // outer source-port entropy for the REUSEPORT hash
+		Batch:   batchSize,
+		PPS:     40000, // paced under the rx loop's drain rate: kernel socket-buffer drops stay out of the accounting
+		Count:   sendCount,
 	}
 	genDone := make(chan error, 1)
 	go func() {

@@ -10,15 +10,31 @@
 // Pktgen in this package — and `nf-pipeline -target` — produces that
 // format, so one binary can drive another over loopback.
 //
-// Ingress path, per datagram: one mbuf comes off the port mempool
-// (through the receive loop's local cache), the kernel copies the
-// datagram straight into the mbuf's buffer — the only copy on the path;
-// everything after it is by-reference ownership transfer — the frame is
-// parsed and RSS-hashed (the same Toeplitz/RETA steering the simulated
-// multi-queue port uses), and the mbuf is enqueued on the owning queue's
-// bounded ingress ring for that queue's worker to poll.
+// Ingress is batched: each receive loop stages a burst of mbufs from the
+// port mempool, lets one recvmmsg copy a whole burst of datagrams into
+// them — the only copy on the path; everything after it is by-reference
+// ownership transfer — and then parses, steers, and enqueues each frame
+// on a bounded ingress ring for a worker to poll. The syscall cost is
+// paid once per burst, not once per frame (on non-Linux builds a
+// portable fallback reads one datagram per call with identical
+// semantics). Egress mirrors it: TxBurstQueue drains a worker's batch
+// through one sendmmsg with exact partial-send accounting.
 //
-// Overload is shed at that ring, drop-tail, never absorbed unbounded:
+// Two fan-out modes decide which ring a frame lands on:
+//
+//   - Distributor (default, and the only mode off Linux): one socket,
+//     one receive loop, software RSS — the frame's inner five-tuple is
+//     Toeplitz-hashed and RETA-steered to a queue, exactly like the
+//     simulated multi-queue port.
+//   - SO_REUSEPORT (Config.ReusePort, Linux): one socket per queue, all
+//     bound to the same address, each with its own receive loop feeding
+//     its own ring. The kernel hashes the outer flow across the group —
+//     RSS fan-out without a software distributor goroutine on the hot
+//     path. Flow affinity holds per outer flow, so senders provide
+//     source-port entropy (Pktgen.Sockets), the way VXLAN encapsulators
+//     derive outer source ports from inner flow hashes.
+//
+// Overload is shed at the rings, drop-tail, never absorbed unbounded:
 //
 //   - ring_full: the destination queue's ring is full — the worker is
 //     not draining fast enough (the rx_missed of real NICs);
@@ -34,9 +50,9 @@
 //
 //	rx_datagrams == rx_packets + ring_full + parse_error + pool_empty
 //
-// holds whenever the receive loop is quiescent — every datagram read off
-// the socket is either delivered to a ring or counted under exactly one
-// cause — which the end-to-end overload test asserts.
+// holds whenever the receive loops are quiescent — every datagram read
+// off a socket is either delivered to a ring or counted under exactly
+// one cause — which the end-to-end overload test asserts.
 package netport
 
 import (
@@ -60,6 +76,11 @@ import (
 // distinguished from a truncated larger frame and is rejected.
 const MbufSize = 2048
 
+// DefaultBatch is the default burst size for the batched syscalls —
+// matching the runners' conventional 32-packet batch, so one recvmmsg
+// fills one pipeline batch.
+const DefaultBatch = 32
+
 // Drop causes, used as the flight-recorder EvDrop argument so a recorder
 // dump shows why ingress shed each datagram.
 const (
@@ -72,16 +93,25 @@ const (
 // on the data path with uncontended atomic adds and readable by a
 // metrics scrape at any time.
 type Stats struct {
-	// RxDatagrams counts every datagram read off the socket, delivered
+	// RxDatagrams counts every datagram read off a socket, delivered
 	// or shed. RxDatagrams == RxPackets + the three drop counters.
 	RxDatagrams telemetry.Counter
+	// RxBatches counts non-empty batch reads; RxDatagrams/RxBatches is
+	// the realized burst occupancy — how many frames each syscall
+	// actually carried.
+	RxBatches telemetry.Counter
 	// RxPackets/RxBytes count frames delivered to an ingress ring.
 	RxPackets telemetry.Counter
 	RxBytes   telemetry.Counter
 	TxPackets telemetry.Counter
 	TxBytes   telemetry.Counter
-	// TxErrors counts failed socket writes (the buffer is recycled
-	// regardless; a wire error must not leak an mbuf).
+	// TxBatches counts egress batch writes (sendmmsg calls with a tx
+	// target configured).
+	TxBatches telemetry.Counter
+	// TxErrors counts frames the kernel did not accept — failed writes
+	// and the drop-tailed remainder of a short batch send. The buffers
+	// are recycled regardless; a wire error must not leak an mbuf, and
+	// TxPackets + TxErrors always equals the frames offered for egress.
 	TxErrors telemetry.Counter
 	// RxSocketErrors counts transient socket read errors.
 	RxSocketErrors telemetry.Counter
@@ -108,11 +138,22 @@ type Config struct {
 	// Listen is the UDP address to receive on, e.g. "127.0.0.1:0".
 	Listen string
 	// Queues is the number of receive queues (default 1); flows are
-	// RSS-steered across them exactly like the simulated multi-queue
-	// port, so one worker per queue sees complete flows.
+	// RSS-steered across them — by the kernel's REUSEPORT hash or the
+	// software RETA — so one worker per queue sees complete flows.
 	Queues int
-	// PoolSize is the mbuf count (default: enough to fill every ring and
-	// cache with 1024 spare for in-flight batches).
+	// BatchSize is the datagram burst one batched syscall moves
+	// (default DefaultBatch, clamped to [1, 512]). Receive loops stage
+	// this many mbufs per read; TxBurstQueue sends up to this many
+	// frames per sendmmsg.
+	BatchSize int
+	// ReusePort opens one socket per queue in an SO_REUSEPORT group so
+	// the kernel fans flows out across the receive loops (Linux only;
+	// needs source-port entropy from senders). When unavailable the
+	// port falls back to the single-socket software distributor —
+	// check ReusePortActive to see which mode is live.
+	ReusePort bool
+	// PoolSize is the mbuf count (default: enough to fill every ring,
+	// cache, and staged burst with 1024 spare for in-flight batches).
 	PoolSize int
 	// RingSize bounds each queue's ingress ring in datagrams (default
 	// 1024, rounded up to a power of two). This is the overload-shedding
@@ -129,7 +170,7 @@ type Config struct {
 	// to (one datagram per frame, same overlay format as ingress). When
 	// empty the port is a sink: TxBurst counts and recycles only.
 	TxTarget string
-	// ReadBuffer requests SO_RCVBUF bytes on the socket (0 = kernel
+	// ReadBuffer requests SO_RCVBUF bytes on each socket (0 = kernel
 	// default). The kernel caps it at net.core.rmem_max.
 	ReadBuffer int
 	// Recorder, when non-nil, receives an EvDrop event (arg = drop
@@ -152,78 +193,166 @@ type rxQueue struct {
 	mu    sync.Mutex
 	cache *mempool.Cache[packet.Packet]
 
+	// txbuf stages egress payload slices for WriteBatch; owned by the
+	// worker that owns this queue (the TxBurstQueue contract).
+	txbuf [][]byte
+
 	actor telemetry.ActorID
+}
+
+// rxLoop is one receive loop: the goroutine that owns one socket's read
+// side, a private mbuf cache, and the staging arrays one batched read
+// fills. In REUSEPORT mode there is one loop per queue (queue >= 0); in
+// distributor mode a single loop steers by RETA (queue == -1).
+type rxLoop struct {
+	conn *net.UDPConn
+	bc   batchConn
+	// queue pins every datagram this loop reads to one ring; -1 steers
+	// by the software RETA instead.
+	queue int
+	done  chan struct{} // loop exited
+
+	// mu guards cache: the loop is the only Get/Put caller, but
+	// PoolAvailable scrapes Len from other goroutines.
+	mu    sync.Mutex
+	cache *mempool.Cache[packet.Packet]
+	// held counts mbufs checked out by this loop — the staged burst
+	// parked across the blocking batch read. PoolAvailable adds it back
+	// so leak baselines are exact whenever the loop is between batches.
+	held atomic.Int64
+
+	// Staging for one batch read: pkts[i] is the mbuf behind bufs[i]
+	// for i < staged; beyond that bufs[i] is scratch (pool exhausted —
+	// datagrams landing there are read and shed pool_empty, so a dry
+	// pool still drains the socket at batch speed).
+	pkts    []*packet.Packet
+	bufs    [][]byte
+	lens    []int
+	scratch [][]byte
 }
 
 // Port is a UDP-socket-backed burst port. It satisfies
 // netbricks.BurstPort; the pipeline runtime cannot tell it from the
 // simulated NIC except by the provenance of the bytes.
 type Port struct {
-	conn   *net.UDPConn
+	conns  []*net.UDPConn
+	loops  []*rxLoop
+	txbcs  []batchConn // egress conn per queue (len 1 = shared socket)
 	txDst  *net.UDPAddr
 	queues []*rxQueue
 	pool   *mempool.Pool[packet.Packet]
 
-	// rxMu guards rxCache: the receive loop is the only Get/Put caller,
-	// but PoolAvailable scrapes Len from other goroutines.
-	rxMu    sync.Mutex
-	rxCache *mempool.Cache[packet.Packet]
-	// loopHeld counts mbufs checked out by the receive loop — normally
-	// the one parked across the blocking socket read. PoolAvailable adds
-	// it back so leak baselines are exact whenever the loop is between
-	// datagrams, not just after Close.
-	loopHeld atomic.Int64
+	reta      *packet.RETA
+	rssKey    packet.RSSKey
+	pollWait  time.Duration
+	batch     int
+	cacheSize int
+	high      int // ring depth that raises backpressure
+	low       int // ring depth that clears it
+	reuse     bool
 
-	reta     *packet.RETA
-	rssKey   packet.RSSKey
-	pollWait time.Duration
-	high     int // ring depth that raises backpressure
-	low      int // ring depth that clears it
-
-	rec     *telemetry.Recorder
-	scratch []byte // pool_empty reads land here and are discarded
+	rec *telemetry.Recorder
 
 	closed atomic.Bool
-	done   chan struct{} // receive loop exited
 
 	// Stats is exported for harnesses.
 	Stats Stats
 }
 
-// Open binds the listen socket, builds the queues, and starts the
-// receive loop. The caller must Close the port to settle buffer
-// accounting.
+// Open binds the listen socket(s), builds the queues, and starts the
+// receive loop(s). With Config.ReusePort on a supporting platform it
+// binds one socket per queue into an SO_REUSEPORT group; otherwise one
+// socket feeds the software distributor. The caller must Close the port
+// to settle buffer accounting.
 func Open(cfg Config) (*Port, error) {
 	p, err := newPort(cfg)
 	if err != nil {
 		return nil, err
 	}
-	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	conns, reuse, err := openSockets(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("netport: listen address: %w", err)
+		return nil, err
 	}
-	p.conn, err = net.ListenUDP("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("netport: %w", err)
-	}
+	p.conns = conns
+	p.reuse = reuse
 	if cfg.ReadBuffer > 0 {
-		// Best effort: the kernel clamps to rmem_max.
-		_ = p.conn.SetReadBuffer(cfg.ReadBuffer)
+		for _, c := range conns {
+			// Best effort: the kernel clamps to rmem_max.
+			_ = c.SetReadBuffer(cfg.ReadBuffer)
+		}
 	}
 	if cfg.TxTarget != "" {
 		p.txDst, err = net.ResolveUDPAddr("udp", cfg.TxTarget)
 		if err != nil {
-			p.conn.Close()
+			p.closeConns()
 			return nil, fmt.Errorf("netport: tx target: %w", err)
 		}
 	}
-	go p.rxLoop()
+	// One loop per socket: the connless placeholder loop newPort built
+	// is replaced by socket-backed loops (pinned per queue in REUSEPORT
+	// mode, one RETA-steering distributor otherwise).
+	p.loops = p.loops[:0]
+	p.txbcs = p.txbcs[:0]
+	for i, c := range conns {
+		bc, err := newBatchConn(c)
+		if err != nil {
+			p.closeConns()
+			return nil, fmt.Errorf("netport: raw conn: %w", err)
+		}
+		q := -1
+		if reuse {
+			q = i
+		}
+		p.loops = append(p.loops, p.newLoop(c, bc, q))
+		p.txbcs = append(p.txbcs, bc)
+	}
+	for _, l := range p.loops {
+		go p.runLoop(l)
+	}
 	return p, nil
 }
 
-// newPort builds the socketless core — pool, queues, steering. Tests and
-// the fuzz target use it directly to drive the deliver path without a
-// kernel in the loop.
+// openSockets binds the socket set for cfg: an SO_REUSEPORT group of
+// Queues sockets when requested and supported, else one plain socket.
+// An unsupported platform falls back silently (the portable contract);
+// a mid-group bind failure is a real error.
+func openSockets(cfg Config) ([]*net.UDPConn, bool, error) {
+	queues := max(cfg.Queues, 1)
+	if cfg.ReusePort && queues > 1 && reusePortAvailable {
+		first, err := listenReusePort(cfg.Listen)
+		if err != nil {
+			return nil, false, fmt.Errorf("netport: reuseport listen: %w", err)
+		}
+		conns := []*net.UDPConn{first}
+		// The rest of the group binds the kernel-resolved address, so
+		// ":0" works: every socket shares the one chosen port.
+		addr := first.LocalAddr().String()
+		for q := 1; q < queues; q++ {
+			c, err := listenReusePort(addr)
+			if err != nil {
+				for _, pc := range conns {
+					pc.Close()
+				}
+				return nil, false, fmt.Errorf("netport: reuseport group bind %d: %w", q, err)
+			}
+			conns = append(conns, c)
+		}
+		return conns, true, nil
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, false, fmt.Errorf("netport: listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("netport: %w", err)
+	}
+	return []*net.UDPConn{conn}, false, nil
+}
+
+// newPort builds the socketless core — pool, queues, steering, and one
+// connless distributor loop. Tests and the fuzz target use it directly
+// to drive the deliver path without a kernel in the loop.
 func newPort(cfg Config) (*Port, error) {
 	if cfg.Queues <= 0 {
 		cfg.Queues = 1
@@ -234,25 +363,30 @@ func newPort(cfg Config) (*Port, error) {
 	if cfg.PollWait <= 0 {
 		cfg.PollWait = time.Millisecond
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatch
+	}
+	if cfg.BatchSize > maxStage {
+		cfg.BatchSize = maxStage
+	}
 	cache := cfg.CacheSize
 	if cache <= 0 {
 		cache = mempool.DefaultCacheSize
 	}
 	if cfg.PoolSize <= 0 {
-		cfg.PoolSize = cfg.Queues*(cfg.RingSize+2*cache) + 1024
+		cfg.PoolSize = cfg.Queues*(cfg.RingSize+2*cache+cfg.BatchSize) + 1024
 	}
 	p := &Port{
 		rssKey:   packet.DefaultRSSKey,
 		reta:     packet.NewRETA(cfg.Queues, 0),
 		pollWait: cfg.PollWait,
+		batch:    cfg.BatchSize,
 		rec:      cfg.Recorder,
-		scratch:  make([]byte, MbufSize),
-		done:     make(chan struct{}),
 		pool: mempool.NewPool(cfg.PoolSize, func() *packet.Packet {
 			return &packet.Packet{Data: make([]byte, 0, MbufSize)}
 		}),
 	}
-	p.rxCache = mempool.NewCache(p.pool, cfg.CacheSize)
+	p.cacheSize = cfg.CacheSize
 	for q := 0; q < cfg.Queues; q++ {
 		rq := &rxQueue{
 			ring:  mempool.NewRing[*packet.Packet](cfg.RingSize),
@@ -267,80 +401,175 @@ func newPort(cfg Config) (*Port, error) {
 	size := p.queues[0].ring.Capacity()
 	p.high = size * 3 / 4
 	p.low = size / 4
+	// Socketless placeholder loop: inject (tests, fuzzing) stages and
+	// delivers through it exactly like a socket-backed loop would.
+	p.loops = []*rxLoop{p.newLoop(nil, nil, -1)}
 	return p, nil
+}
+
+// maxStage caps one staged burst (and therefore BatchSize); one syscall
+// cannot carry more than the batchConn's BatchCap anyway.
+const maxStage = 512
+
+// newLoop builds one receive loop's state sized to the port's batch.
+func (p *Port) newLoop(conn *net.UDPConn, bc batchConn, queue int) *rxLoop {
+	b := p.batch
+	if bc != nil {
+		b = min(b, bc.BatchCap())
+	}
+	l := &rxLoop{
+		conn:    conn,
+		bc:      bc,
+		queue:   queue,
+		done:    make(chan struct{}),
+		cache:   mempool.NewCache(p.pool, p.cacheSize),
+		pkts:    make([]*packet.Packet, b),
+		bufs:    make([][]byte, b),
+		lens:    make([]int, b),
+		scratch: make([][]byte, b),
+	}
+	for i := range l.scratch {
+		l.scratch[i] = make([]byte, MbufSize)
+	}
+	return l
 }
 
 // Addr reports the bound listen address (nil for a socketless test
 // port) — tests bind to ":0" and read the kernel-chosen port here.
 func (p *Port) Addr() net.Addr {
-	if p.conn == nil {
+	if len(p.conns) == 0 {
 		return nil
 	}
-	return p.conn.LocalAddr()
+	return p.conns[0].LocalAddr()
 }
 
 // Queues reports the number of receive queues.
 func (p *Port) Queues() int { return len(p.queues) }
 
-// rxLoop is the distributor: the single goroutine that owns the socket
-// read side and the rx mbuf cache. One iteration = one datagram: take an
-// mbuf, let the kernel copy the datagram into it, hand it to deliver.
-func (p *Port) rxLoop() {
-	defer close(p.done)
-	for {
-		pkt := p.takeMbuf()
-		buf := p.scratch
-		if pkt != nil {
-			buf = pkt.Data[:MbufSize]
-		}
-		n, err := p.conn.Read(buf)
+// ReusePortActive reports whether the port is running kernel REUSEPORT
+// fan-out (one socket per queue) rather than the software distributor.
+func (p *Port) ReusePortActive() bool { return p.reuse }
+
+// stage checks out up to one burst of mbufs for a batch read and wires
+// the staging arrays: bufs[i] is mbuf-backed for i < staged and scratch
+// beyond. It returns the staged mbuf count; want caps the burst (tests
+// stage exactly the burst they inject).
+func (l *rxLoop) stage(want int) int {
+	want = min(want, len(l.pkts))
+	staged := 0
+	l.mu.Lock()
+	for staged < want {
+		pkt, err := l.cache.Get()
 		if err != nil {
-			if pkt != nil {
-				p.putMbuf(pkt)
-			}
+			break
+		}
+		l.pkts[staged] = pkt
+		staged++
+	}
+	l.mu.Unlock()
+	l.held.Add(int64(staged))
+	for i := 0; i < want; i++ {
+		if i < staged {
+			l.bufs[i] = l.pkts[i].Data[:MbufSize]
+		} else {
+			l.bufs[i] = l.scratch[i]
+		}
+	}
+	return staged
+}
+
+// put recycles one mbuf through the loop's cache.
+func (l *rxLoop) put(pkt *packet.Packet) {
+	l.mu.Lock()
+	l.cache.Put(pkt)
+	l.mu.Unlock()
+	l.held.Add(-1)
+}
+
+// putRange recycles the staged-but-unused mbufs pkts[from:to].
+func (l *rxLoop) putRange(from, to int) {
+	if from >= to {
+		return
+	}
+	l.mu.Lock()
+	for i := from; i < to; i++ {
+		l.cache.Put(l.pkts[i])
+	}
+	l.mu.Unlock()
+	l.held.Add(int64(from - to))
+}
+
+// runLoop is one receive loop: stage a burst of mbufs, let the kernel
+// copy a batch of datagrams into them with one call, dispatch each.
+func (p *Port) runLoop(l *rxLoop) {
+	defer close(l.done)
+	for {
+		// stage wires every slot: mbuf-backed below staged, scratch
+		// beyond — so a dry pool still drains the socket at batch
+		// speed and sheds with exact accounting.
+		staged := l.stage(len(l.pkts))
+		want := len(l.bufs)
+		n, err := l.bc.ReadBatch(l.bufs[:want], l.lens[:want])
+		if err != nil {
+			l.putRange(0, staged)
 			if p.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return
 			}
 			p.Stats.RxSocketErrors.Inc()
 			continue
 		}
-		if pkt == nil {
-			p.shed(&p.Stats.PoolEmpty, DropPoolEmpty, 0)
-			continue
-		}
-		p.deliver(pkt, n)
+		p.dispatch(l, n, staged)
 	}
+}
+
+// dispatch accounts one batch read: datagrams 0..n-1 landed in the
+// loop's staged buffers (mbuf-backed below staged, scratch beyond —
+// those shed pool_empty), and staged-but-unused mbufs are recycled.
+func (p *Port) dispatch(l *rxLoop, n, staged int) {
+	if n > 0 {
+		p.Stats.RxBatches.Inc()
+	}
+	for i := 0; i < n; i++ {
+		if i < staged {
+			p.deliver(l, l.pkts[i], l.lens[i])
+		} else {
+			p.shed(&p.Stats.PoolEmpty, DropPoolEmpty, 0)
+		}
+	}
+	l.putRange(n, staged)
 }
 
 // deliver is the per-datagram ingress path after the kernel copy: parse,
 // steer, enqueue-or-shed. It owns pkt (whose first n bytes are the
-// datagram) and either hands it to a ring or recycles it. The fuzz
-// target drives this function directly.
-func (p *Port) deliver(pkt *packet.Packet, n int) {
+// datagram) and either hands it to a ring or recycles it.
+func (p *Port) deliver(l *rxLoop, pkt *packet.Packet, n int) {
 	if n >= MbufSize {
 		// Possibly truncated by the kernel read; reject (see MbufSize).
-		p.putMbuf(pkt)
+		l.put(pkt)
 		p.shed(&p.Stats.ParseError, DropParseError, 0)
 		return
 	}
 	pkt.Data = pkt.Data[:n]
 	pkt.Reset()
 	if err := pkt.Parse(); err != nil {
-		p.putMbuf(pkt)
+		l.put(pkt)
 		p.shed(&p.Stats.ParseError, DropParseError, 0)
 		return
 	}
 	hash := pkt.Tuple().RSSHash(p.rssKey)
-	q := p.reta.Queue(hash)
+	q := l.queue
+	if q < 0 {
+		q = p.reta.Queue(hash)
+	}
 	pkt.RxQueue = q
 	pkt.RxHash = hash
 	rq := p.queues[q]
 	if rq.ring.Enqueue(pkt) != nil {
-		p.putMbuf(pkt)
+		l.put(pkt)
 		p.shed(&p.Stats.RingFull, DropRingFull, rq.actor)
 		return
 	}
-	p.loopHeld.Add(-1) // ownership moved to the ring
+	l.held.Add(-1) // ownership moved to the ring
 	p.Stats.RxPackets.Inc()
 	p.Stats.RxBytes.Add(uint64(n))
 	p.Stats.RxDatagrams.Inc()
@@ -360,27 +589,6 @@ func (p *Port) shed(c *telemetry.Counter, cause uint64, actor telemetry.ActorID)
 	c.Inc()
 	p.Stats.RxDatagrams.Inc()
 	p.rec.Record(actor, telemetry.EvDrop, cause)
-}
-
-// takeMbuf gets a fresh mbuf from the receive cache (nil when the pool
-// is exhausted — the caller shed-counts the datagram).
-func (p *Port) takeMbuf() *packet.Packet {
-	p.rxMu.Lock()
-	defer p.rxMu.Unlock()
-	pkt, err := p.rxCache.Get()
-	if err != nil {
-		return nil
-	}
-	p.loopHeld.Add(1)
-	return pkt
-}
-
-// putMbuf recycles an mbuf through the receive cache.
-func (p *Port) putMbuf(pkt *packet.Packet) {
-	p.rxMu.Lock()
-	p.rxCache.Put(pkt)
-	p.rxMu.Unlock()
-	p.loopHeld.Add(-1)
 }
 
 // RxBurstQueue fills out with up to len(out) packets from receive queue
@@ -410,31 +618,59 @@ func (p *Port) RxBurstQueue(q int, out []*packet.Packet) int {
 // RxBurst polls queue 0 (single-queue convenience, mirroring dpdk.Port).
 func (p *Port) RxBurst(out []*packet.Packet) int { return p.RxBurstQueue(0, out) }
 
-// TxBurstQueue transmits pkts from the worker owning queue q — one UDP
-// datagram per frame to the configured TxTarget (pure accounting when
-// the port is a sink) — and recycles the buffers through the queue's
-// local cache, returning the number of datagrams transmitted. A failed
-// write counts only TxErrors — never TxPackets/TxBytes, so a dead
-// egress socket cannot report full throughput — but still recycles: a
-// wire error never leaks an mbuf. Concurrent callers on different
-// queues are safe; the kernel serializes socket writes.
+// TxBurstQueue transmits pkts from the worker owning queue q — one
+// batched send of UDP datagrams, one per frame, to the configured
+// TxTarget (pure accounting when the port is a sink) — and recycles the
+// buffers through the queue's local cache, returning the number of
+// datagrams the kernel accepted.
+//
+// Accounting is exact under partial sends: a batch the kernel cuts short
+// at k<n frames counts exactly k in TxPackets/TxBytes/sent — the
+// unaccepted tail counts TxErrors and is drop-tailed, never silently
+// reported as delivered — and all n buffers recycle regardless: a wire
+// error never leaks an mbuf. In REUSEPORT mode each queue transmits
+// through its own socket; concurrent callers on different queues are
+// safe in every mode.
 func (p *Port) TxBurstQueue(q int, pkts []*packet.Packet) int {
 	rq := p.queue(q)
 	sent := 0
-	for _, pkt := range pkts {
-		if pkt == nil {
-			continue
-		}
-		if p.txDst != nil {
-			if _, err := p.conn.WriteToUDP(pkt.Data, p.txDst); err != nil {
-				p.Stats.TxErrors.Inc()
-				continue
+	var bytes uint64
+	if p.txDst == nil {
+		// Sink mode: every frame "transmits".
+		for _, pkt := range pkts {
+			if pkt != nil {
+				sent++
+				bytes += uint64(pkt.Len())
 			}
 		}
-		p.Stats.TxPackets.Inc()
-		p.Stats.TxBytes.Add(uint64(pkt.Len()))
-		sent++
+	} else {
+		payloads := rq.txbuf[:0]
+		for _, pkt := range pkts {
+			if pkt != nil {
+				payloads = append(payloads, pkt.Data)
+			}
+		}
+		rq.txbuf = payloads[:0] // keep the grown backing array
+		bc := p.txbcs[min(q, len(p.txbcs)-1)]
+		for off := 0; off < len(payloads); {
+			burst := payloads[off:min(off+p.batch, len(payloads))]
+			k, err := bc.WriteBatch(burst, p.txDst)
+			p.Stats.TxBatches.Inc()
+			for i := 0; i < k; i++ {
+				bytes += uint64(len(burst[i]))
+			}
+			sent += k
+			off += k
+			if err != nil || k < len(burst) {
+				// Short or failed send: the rest of the burst is
+				// drop-tailed, counted, and recycled below.
+				p.Stats.TxErrors.Add(uint64(len(payloads) - off))
+				break
+			}
+		}
 	}
+	p.Stats.TxPackets.Add(uint64(sent))
+	p.Stats.TxBytes.Add(bytes)
 	rq.mu.Lock()
 	for _, pkt := range pkts {
 		if pkt != nil {
@@ -466,7 +702,7 @@ func (p *Port) Free(pkts []*packet.Packet) { p.FreeQueue(0, pkts) }
 
 // Drain consolidates undelivered ring descriptors and the per-queue
 // caches back into the shared pool, once the workers have stopped.
-// Unlike the simulated port, the receive loop stays live: datagrams
+// Unlike the simulated port, the receive loops stay live: datagrams
 // arriving after Drain land in the rings again, and only Close settles
 // the pool for good.
 func (p *Port) Drain() {
@@ -484,7 +720,7 @@ func (p *Port) Drain() {
 	}
 }
 
-// Close stops the receive loop, closes the socket, and returns every
+// Close stops the receive loops, closes the sockets, and returns every
 // buffer to the pool. After Close, PoolAvailable equals the pool
 // capacity unless a caller still holds packets.
 func (p *Port) Close() error {
@@ -492,27 +728,43 @@ func (p *Port) Close() error {
 		return nil
 	}
 	var err error
-	if p.conn != nil {
-		err = p.conn.Close()
-		<-p.done // receive loop exits on the closed socket
+	for _, c := range p.conns {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
-	p.rxMu.Lock()
-	p.rxCache.Flush()
-	p.rxMu.Unlock()
+	for _, l := range p.loops {
+		if l.conn != nil {
+			<-l.done // receive loop exits on the closed socket
+		}
+		l.mu.Lock()
+		l.cache.Flush()
+		l.mu.Unlock()
+	}
 	p.Drain()
 	return err
 }
 
-// PoolAvailable reports free mbufs — in the shared pool, the receive
-// cache, every queue's cache, plus the one the receive loop parks across
-// its blocking socket read — for leak assertions in tests. Only buffers
-// held by in-flight packets (rings and batches) are excluded; the result
-// is exact at quiescence and approximate while datagrams are moving.
+// closeConns tears down a half-built Open.
+func (p *Port) closeConns() {
+	for _, c := range p.conns {
+		c.Close()
+	}
+}
+
+// PoolAvailable reports free mbufs — in the shared pool, every receive
+// loop's cache and staged burst, and every queue's cache — for leak
+// assertions in tests. Only buffers held by in-flight packets (rings
+// and batches) are excluded; the result is exact at quiescence and
+// approximate while datagrams are moving.
 func (p *Port) PoolAvailable() int {
-	n := p.pool.Available() + int(p.loopHeld.Load())
-	p.rxMu.Lock()
-	n += p.rxCache.Len()
-	p.rxMu.Unlock()
+	n := p.pool.Available()
+	for _, l := range p.loops {
+		n += int(l.held.Load())
+		l.mu.Lock()
+		n += l.cache.Len()
+		l.mu.Unlock()
+	}
 	for _, rq := range p.queues {
 		rq.mu.Lock()
 		n += rq.cache.Len()
@@ -524,7 +776,9 @@ func (p *Port) PoolAvailable() int {
 // PoolCapacity reports the mbuf pool's fixed capacity.
 func (p *Port) PoolCapacity() int { return p.pool.Capacity() }
 
-// RSSQueue reports which receive queue the port steers a flow to.
+// RSSQueue reports which receive queue the software RETA steers a flow
+// to (the distributor path; kernel REUSEPORT fan-out hashes the outer
+// flow instead).
 func (p *Port) RSSQueue(t packet.FiveTuple) int {
 	return p.reta.Queue(t.RSSHash(p.rssKey))
 }
@@ -535,10 +789,12 @@ func (p *Port) RSSQueue(t packet.FiveTuple) int {
 // cache on reg. base labels every series; queues add a "queue" label.
 func (p *Port) RegisterMetrics(reg *telemetry.Registry, base telemetry.Labels) {
 	reg.RegisterCounter("port_rx_datagrams_total", base, &p.Stats.RxDatagrams)
+	reg.RegisterCounter("port_rx_batches_total", base, &p.Stats.RxBatches)
 	reg.RegisterCounter("port_rx_packets_total", base, &p.Stats.RxPackets)
 	reg.RegisterCounter("port_rx_bytes_total", base, &p.Stats.RxBytes)
 	reg.RegisterCounter("port_tx_packets_total", base, &p.Stats.TxPackets)
 	reg.RegisterCounter("port_tx_bytes_total", base, &p.Stats.TxBytes)
+	reg.RegisterCounter("port_tx_batches_total", base, &p.Stats.TxBatches)
 	reg.RegisterCounter("port_tx_errors_total", base, &p.Stats.TxErrors)
 	reg.RegisterCounter("port_rx_socket_errors_total", base, &p.Stats.RxSocketErrors)
 	reg.RegisterCounter("port_ingress_drops_total", base.With("cause", "ring_full"), &p.Stats.RingFull)

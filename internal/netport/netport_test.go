@@ -41,17 +41,37 @@ func flowFrame(t testing.TB, i int) []byte {
 	return frame
 }
 
-// inject runs the per-datagram ingress path the way the receive loop
-// does, minus the socket: mbuf get (or pool_empty shed), kernel-copy
-// stand-in, deliver.
+// inject runs the per-datagram ingress path the way a receive loop
+// does, minus the socket: stage an mbuf (or shed pool_empty), stand in
+// for the kernel copy, deliver. Only valid on a socketless newPort port,
+// whose placeholder loop has no goroutine contending for the staging
+// arrays.
 func (p *Port) inject(data []byte) {
-	pkt := p.takeMbuf()
-	if pkt == nil {
+	l := p.loops[0]
+	if l.stage(1) == 0 {
 		p.shed(&p.Stats.PoolEmpty, DropPoolEmpty, 0)
 		return
 	}
-	n := copy(pkt.Data[:MbufSize], data)
-	p.deliver(pkt, n)
+	n := copy(l.bufs[0][:MbufSize], data)
+	p.deliver(l, l.pkts[0], n)
+}
+
+// injectBatch runs one whole batch read through the genuine batched
+// dispatch path: stage a burst, copy each datagram into its staged
+// buffer (scratch past the staged count, exactly as a dry pool leaves
+// it), then dispatch with the same accounting the socket loop uses.
+func (p *Port) injectBatch(datagrams [][]byte) {
+	l := p.loops[0]
+	for off := 0; off < len(datagrams); {
+		burst := datagrams[off:min(off+len(l.bufs), len(datagrams))]
+		staged := l.stage(len(burst))
+		for i, d := range burst {
+			// copy caps at MbufSize — the kernel-style truncation.
+			l.lens[i] = copy(l.bufs[i][:MbufSize], d)
+		}
+		p.dispatch(l, len(burst), staged)
+		off += len(burst)
+	}
 }
 
 // accounted asserts the exact-accounting invariant: every datagram the

@@ -23,8 +23,8 @@ func TestTxFailedWriteAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	p.conn.Close()
-	<-p.done // receive loop has exited; the socket is fully dead
+	p.conns[0].Close()
+	<-p.loops[0].done // receive loop has exited; the socket is fully dead
 	leakcheck.Pool(t, "mbufs", p.PoolAvailable)
 
 	var pkts []*packet.Packet
