@@ -6,7 +6,7 @@ GO ?= go
 # telemetry core every one of them records into, and both port
 # implementations (the simulated NIC's steered distributor and the
 # socket-backed port's receive loop).
-RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry ./internal/netport ./internal/dpdk ./internal/checkpoint ./internal/session
+RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry ./internal/telemetry/trace ./internal/netport ./internal/dpdk ./internal/checkpoint ./internal/session
 
 # Per-benchmark time for the JSON bench run; raise for stabler numbers.
 BENCHTIME ?= 0.5s
@@ -16,11 +16,11 @@ BENCHTIME ?= 0.5s
 # single-core machine) minus 20% of headroom for scheduler noise.
 NETPORT_PPS_FLOOR ?= 320000
 
-.PHONY: check build test test-e2e race race-all vet guard-atomics fuzz bench bench-all bench-gate
+.PHONY: check build test test-e2e race race-all vet guard-atomics alloc-gate fuzz bench bench-all bench-gate
 
 ## check: the PR gate — vet, build, full tests, race tier, e2e tier,
-## atomics guard.
-check: vet build test race test-e2e guard-atomics
+## atomics guard, zero-allocation gate.
+check: vet build test race test-e2e guard-atomics alloc-gate
 
 ## guard-atomics: hot-path counters must be typed atomic cells
 ## (atomic.Uint64 / telemetry.Counter), never raw integers passed to the
@@ -34,6 +34,16 @@ guard-atomics:
 		echo "guard-atomics: raw-integer atomic calls found; use atomic.Int64/atomic.Uint64 or telemetry cells"; \
 		exit 1; \
 	fi
+
+## alloc-gate: the tracer's record paths must stay allocation-free —
+## the untraced path (sampler miss + unarmed stamp, what every packet
+## pays) and the armed path (arm, stamp, complete into the ring). A
+## -benchmem run with a benchgate allocs/op ceiling of 0 enforces both.
+alloc-gate:
+	$(GO) test -run='^$$' -bench='TraceRecordPath' -benchmem -benchtime=10000x ./internal/telemetry/trace \
+		| $(GO) run ./cmd/benchgate -bench BenchmarkTraceRecordPathUntraced -metric allocs/op -max 0
+	$(GO) test -run='^$$' -bench='TraceRecordPathArmed' -benchmem -benchtime=10000x ./internal/telemetry/trace \
+		| $(GO) run ./cmd/benchgate -bench BenchmarkTraceRecordPathArmed -metric allocs/op -max 0
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +77,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMailboxOwnership -fuzztime=10s ./internal/domain
 	$(GO) test -run='^$$' -fuzz=FuzzNetportDecode -fuzztime=10s ./internal/netport
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRestore -fuzztime=10s ./internal/checkpoint
+	$(GO) test -run='^$$' -fuzz=FuzzTraceSpanEncode -fuzztime=10s ./internal/telemetry/trace
 
 ## bench: the pipeline throughput benches (direct/isolated/sharded/
 ## supervised, steady and faulting), recorded machine-readably in
@@ -80,13 +91,20 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_netport.json
 	$(GO) test -run='^$$' -bench='CheckpointedPipeline|CheckpointRestoreSession' -benchmem -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_checkpoint.json
+	$(GO) test -run='^$$' -bench='TraceRecordPath|NetportLoopbackTraced' -benchmem -benchtime=$(BENCHTIME) ./internal/telemetry/trace ./internal/netport \
+		| $(GO) run ./cmd/benchjson -out BENCH_trace.json
 
 ## bench-all: the full testing.B harness (human-readable only).
 bench-all:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-## bench-gate: perf regression gate — reruns the loopback throughput
-## bench and fails if sustained pps falls below NETPORT_PPS_FLOOR.
+## bench-gate: perf regression gates — the loopback throughput bench
+## must sustain NETPORT_PPS_FLOOR, and the traced variant (sampling at
+## 1/1024) must sustain at least 98% of the untraced run's pps from the
+## same bench invocation.
 bench-gate:
 	$(GO) test -run='^$$' -bench='NetportLoopback$$' -benchtime=2s -count=1 ./internal/netport \
 		| $(GO) run ./cmd/benchgate -bench BenchmarkNetportLoopback -metric pps -min $(NETPORT_PPS_FLOOR)
+	$(GO) test -run='^$$' -bench='NetportLoopback(Traced)?$$' -benchtime=2s -count=1 ./internal/netport \
+		| $(GO) run ./cmd/benchgate -bench BenchmarkNetportLoopbackTraced -metric pps \
+			-baseline BenchmarkNetportLoopback -min-frac 0.98

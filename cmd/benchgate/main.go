@@ -1,5 +1,5 @@
 // Command benchgate fails a build when a benchmark metric regresses
-// below a floor. It closes the loop the JSON bench records open: the
+// past a bound. It closes the loop the JSON bench records open: the
 // numbers in BENCH_*.json show the perf trajectory, and benchgate turns
 // one of them into a hard gate —
 //
@@ -9,8 +9,18 @@
 // reads `go test -bench` output on stdin (echoed unchanged, like
 // benchjson), or with -file reads a benchjson-written JSON record
 // instead, and exits nonzero if the named benchmark's metric is missing
-// or below -min. Floors are set ~20% under the recorded number so
-// scheduler noise does not flap the gate but a real regression trips it.
+// or out of bounds. Three gate shapes compose:
+//
+//   - -min: an absolute floor (throughput must not regress). Floors are
+//     set ~20% under the recorded number so scheduler noise does not
+//     flap the gate but a real regression trips it.
+//   - -max: an absolute ceiling (allocs/op must stay 0; overheads must
+//     not grow). -max 0 with -metric allocs/op is the zero-allocation
+//     gate.
+//   - -baseline B -min-frac F: a relative floor against another
+//     benchmark from the same input — the gated bench's metric must be
+//     at least F times B's. This is how the traced loopback proves it
+//     sustains >= 98% of the untraced run's pps.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -34,31 +45,59 @@ func main() {
 	log.SetPrefix("benchgate: ")
 	bench := flag.String("bench", "", "benchmark name to gate (required)")
 	metric := flag.String("metric", "pps", "metric unit to compare")
-	min := flag.Float64("min", 0, "floor: fail if the metric is below this")
+	min := flag.Float64("min", math.Inf(-1), "floor: fail if the metric is below this")
+	max := flag.Float64("max", math.Inf(1), "ceiling: fail if the metric is above this")
+	baseline := flag.String("baseline", "", "benchmark to compare against (relative gate)")
+	minFrac := flag.Float64("min-frac", 0, "relative floor: fail if metric < min-frac * baseline's metric")
 	file := flag.String("file", "", "read a benchjson JSON record instead of bench output on stdin")
 	flag.Parse()
 	if *bench == "" {
 		log.Fatal("-bench is required")
 	}
-
-	var value float64
-	var found bool
-	if *file != "" {
-		value, found = fromJSON(*file, *bench, *metric)
-	} else {
-		value, found = fromStdin(*bench, *metric)
+	if (*baseline == "") != (*minFrac == 0) {
+		log.Fatal("-baseline and -min-frac must be used together")
 	}
+
+	var results map[string]map[string]float64
+	if *file != "" {
+		results = fromJSON(*file)
+	} else {
+		results = fromStdin()
+	}
+
+	value, found := results[*bench][*metric]
 	if !found {
 		log.Fatalf("benchmark %s has no %q metric", *bench, *metric)
 	}
 	if value < *min {
 		log.Fatalf("REGRESSION: %s %s = %.0f, below the floor %.0f", *bench, *metric, value, *min)
 	}
-	log.Printf("ok: %s %s = %.0f (floor %.0f)", *bench, *metric, value, *min)
+	if value > *max {
+		log.Fatalf("REGRESSION: %s %s = %g, above the ceiling %g", *bench, *metric, value, *max)
+	}
+	if *baseline != "" {
+		base, ok := results[*baseline][*metric]
+		if !ok {
+			log.Fatalf("baseline benchmark %s has no %q metric", *baseline, *metric)
+		}
+		if floor := *minFrac * base; value < floor {
+			log.Fatalf("REGRESSION: %s %s = %.0f, below %.0f%% of %s's %.0f (floor %.0f)",
+				*bench, *metric, value, *minFrac*100, *baseline, base, floor)
+		}
+		log.Printf("ok: %s %s = %.0f >= %.0f%% of %s's %.0f",
+			*bench, *metric, value, *minFrac*100, *baseline, base)
+		return
+	}
+	switch {
+	case !math.IsInf(*max, 1):
+		log.Printf("ok: %s %s = %g (ceiling %g)", *bench, *metric, value, *max)
+	default:
+		log.Printf("ok: %s %s = %.0f (floor %.0f)", *bench, *metric, value, *min)
+	}
 }
 
 // fromJSON reads a benchjson record (benchmark name → unit → value).
-func fromJSON(path, bench, metric string) (float64, bool) {
+func fromJSON(path string) map[string]map[string]float64 {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -67,16 +106,16 @@ func fromJSON(path, bench, metric string) (float64, bool) {
 	if err := json.Unmarshal(buf, &results); err != nil {
 		log.Fatalf("%s: %v", path, err)
 	}
-	v, ok := results[bench][metric]
-	return v, ok
+	return results
 }
 
 // fromStdin scans `go test -bench` output, echoing it unchanged, and
-// returns the gated benchmark's metric. A run that never prints PASS
-// (build failure, bench panic) fails the gate regardless of the metric.
-func fromStdin(bench, metric string) (float64, bool) {
-	var value float64
-	var found, pass bool
+// collects every benchmark's metrics (so relative gates can compare two
+// benches from one run). A run that never prints PASS (build failure,
+// bench panic) fails the gate regardless of the metrics.
+func fromStdin() map[string]map[string]float64 {
+	results := map[string]map[string]float64{}
+	var pass bool
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -89,15 +128,18 @@ func fromStdin(bench, metric string) (float64, bool) {
 			continue
 		}
 		f := strings.Fields(line)
-		if len(f) < 4 || gomaxprocsSuffix.ReplaceAllString(f[0], "") != bench {
+		if len(f) < 4 {
 			continue
 		}
+		name := gomaxprocsSuffix.ReplaceAllString(f[0], "")
+		m := results[name]
+		if m == nil {
+			m = map[string]float64{}
+			results[name] = m
+		}
 		for i := 2; i+1 < len(f); i += 2 {
-			if f[i+1] != metric {
-				continue
-			}
 			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
-				value, found = v, true
+				m[f[i+1]] = v
 			}
 		}
 	}
@@ -107,5 +149,5 @@ func fromStdin(bench, metric string) (float64, bool) {
 	if !pass {
 		log.Fatal("benchmark run did not report PASS")
 	}
-	return value, found
+	return results
 }

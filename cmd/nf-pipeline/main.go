@@ -44,7 +44,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -60,6 +62,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // osExit is swappable so flag-validation tests can observe the exit.
@@ -91,13 +94,13 @@ func (f *faultyStage) ProcessBatch(b *netbricks.Batch) error {
 // validateFlags rejects contradictory flag combinations up front, so the
 // process exits with a usage error instead of silently letting one mode
 // win. set holds the names of flags the user passed explicitly.
-func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Duration) error {
+func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Duration, traceSample int) error {
 	if set["target"] {
 		// Pktgen mode: only pktgen knobs make sense alongside it.
 		for _, name := range []string{
 			"listen", "egress", "reuseport", "direct", "supervise", "inject",
 			"crashrate", "checkpoint-every", "workers", "batches", "size",
-			"metrics-addr", "stats-interval",
+			"metrics-addr", "stats-interval", "trace-sample",
 		} {
 			if set[name] {
 				return fmt.Errorf("-target (pktgen mode) conflicts with -%s", name)
@@ -122,6 +125,17 @@ func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Dur
 	}
 	if set["pps"] || set["count"] || set["duration"] {
 		return fmt.Errorf("-pps/-count/-duration are pktgen knobs; they need -target")
+	}
+	if set["trace-sample"] {
+		if !set["listen"] {
+			return fmt.Errorf("-trace-sample arms traces at netport ingress; it needs -listen")
+		}
+		if traceSample < 1 {
+			return fmt.Errorf("-trace-sample must be >= 1 (1 traces every packet)")
+		}
+		if traceSample&(traceSample-1) != 0 {
+			return fmt.Errorf("-trace-sample must be a power of two (the sampler is a mask, not a modulus); got %d", traceSample)
+		}
 	}
 	return nil
 }
@@ -153,11 +167,13 @@ func main() {
 		sockets  = flag.Int("sockets", 16, "pktgen: source sockets to spread flows over (REUSEPORT receivers need the source-port entropy)")
 
 		checkpointEvery = flag.Duration("checkpoint-every", 0, "with -supervise: snapshot each worker's NF state at this epoch length; restarts restore the last good snapshot (0 = off)")
+
+		traceSample = flag.Int("trace-sample", 0, "with -listen: arm a sampled packet trace on one in N ingress frames per receive loop (power of two; 0 = off); completed traces serve at /debug/traces")
 	)
 	flag.Parse()
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
-	if err := validateFlags(setFlags, *supervise, *checkpointEvery); err != nil {
+	if err := validateFlags(setFlags, *supervise, *checkpointEvery, *traceSample); err != nil {
 		fmt.Fprintf(flag.CommandLine.Output(), "nf-pipeline: %v\n\n", err)
 		flag.Usage()
 		osExit(2)
@@ -193,16 +209,38 @@ func main() {
 	// path is pure atomics, so there is nothing to turn off.
 	reg := telemetry.NewRegistry()
 	rec := telemetry.NewRecorder(256)
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: *traceSample, Ring: 256, Recorder: rec})
+		tracer.RegisterMetrics(reg, nil)
+		log.Printf("tracing one in %d ingress frames per receive loop", tracer.SampleEvery())
+	}
 	if *metricsAddr != "" {
+		// Sane default profile rates for the admin surface: mutex events
+		// sampled 1-in-100, block events at 1ms granularity — cheap enough
+		// to leave on, detailed enough that /debug/pprof/{mutex,block}
+		// return something useful. CPU and heap profiles need no arming.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Millisecond))
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		mux.Handle("/debug/flightrecorder", rec.Handler())
+		// Nil-safe without -trace-sample: both report {"enabled":false}.
+		mux.Handle("/debug/traces", tracer.Handler())
+		mux.Handle("/debug/alloc", tracer.AllocHandler())
+		// The mux is custom, so net/http/pprof's DefaultServeMux
+		// registrations never see traffic; mount its handlers explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
-		log.Printf("serving http://%s/metrics and /debug/flightrecorder", *metricsAddr)
+		log.Printf("serving http://%s/metrics, /debug/flightrecorder, /debug/traces, /debug/alloc, /debug/pprof/", *metricsAddr)
 	}
 	if *statsInterval > 0 {
 		go func() {
@@ -245,6 +283,7 @@ func main() {
 			PollWait: 100 * time.Millisecond,
 			TxTarget: *egress,
 			Recorder: rec,
+			Tracer:   tracer,
 		})
 		if nerr != nil {
 			log.Fatal(nerr)
@@ -352,7 +391,7 @@ func main() {
 	var err error
 	c := cycles.Start()
 	if *workers == 1 {
-		runner := netbricks.Runner{Port: port, BatchSize: *size}
+		runner := netbricks.Runner{Port: port, BatchSize: *size, Tracer: tracer}
 		if *direct {
 			runner.Direct = netbricks.NewPipeline(stagesFor(0)...)
 		} else {
@@ -371,6 +410,7 @@ func main() {
 			Port: port, Workers: *workers, BatchSize: *size,
 			Supervise: *supervise,
 			Registry:  reg,
+			Tracer:    tracer,
 			Policy: domain.Policy{
 				Recorder:        rec,
 				CheckpointEvery: *checkpointEvery,
@@ -465,6 +505,11 @@ func main() {
 	} else {
 		fmt.Printf("port:       rx=%d tx=%d missed=%d\n",
 			simPort.Stats.RxPackets.Load(), simPort.Stats.TxPackets.Load(), simPort.Stats.RxMissed.Load())
+	}
+	if tracer != nil {
+		armed, completed, aborted := tracer.Counts()
+		fmt.Printf("trace:      1/%d sampled: %d armed, %d completed, %d aborted\n",
+			tracer.SampleEvery(), armed, completed, aborted)
 	}
 }
 

@@ -19,6 +19,7 @@ func TestValidateFlags(t *testing.T) {
 		set       map[string]bool
 		supervise bool
 		every     time.Duration
+		sample    int
 		wantErr   string // empty = valid
 	}{
 		{name: "defaults", set: set()},
@@ -49,10 +50,22 @@ func TestValidateFlags(t *testing.T) {
 			wantErr: "needs -listen"},
 		{name: "sockets without target", set: set("sockets"),
 			wantErr: "needs -target"},
+		{name: "trace-sample with listen", set: set("listen", "trace-sample"), sample: 1024},
+		{name: "trace-sample of one", set: set("listen", "trace-sample"), sample: 1},
+		{name: "trace-sample without listen", set: set("trace-sample"), sample: 1024,
+			wantErr: "needs -listen"},
+		{name: "trace-sample conflicts with target", set: set("target", "trace-sample"),
+			sample: 1024, wantErr: "conflicts with -trace-sample"},
+		{name: "trace-sample zero", set: set("listen", "trace-sample"), sample: 0,
+			wantErr: "must be >= 1"},
+		{name: "trace-sample negative", set: set("listen", "trace-sample"), sample: -8,
+			wantErr: "must be >= 1"},
+		{name: "trace-sample not a power of two", set: set("listen", "trace-sample"), sample: 1000,
+			wantErr: "power of two"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.set, tc.supervise, tc.every)
+			err := validateFlags(tc.set, tc.supervise, tc.every, tc.sample)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

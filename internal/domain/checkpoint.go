@@ -236,7 +236,7 @@ func (d *Domain[T]) LastCheckpoint() (time.Time, bool) {
 
 // registerCkptMetrics exports the checkpoint cells; called from
 // registerMetrics when checkpointing is enabled.
-func (d *Domain[T]) registerCkptMetrics(reg *telemetry.Registry, labels telemetry.Labels) {
+func (d *Domain[T]) registerCkptMetrics(reg telemetry.Registrar, labels telemetry.Labels) {
 	reg.RegisterCounter("domain_checkpoints_taken_total", labels, &d.ck.taken)
 	reg.RegisterCounter("domain_checkpoint_failures_total", labels, &d.ck.failed)
 	reg.RegisterCounter("domain_restores_total", labels, &d.ck.restores)

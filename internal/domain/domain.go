@@ -450,7 +450,7 @@ func (d *Domain[T]) stop() {
 // registerMetrics exports the domain's counters on reg labeled
 // {domain=<name>}. Called once at Spawn; the record path never sees the
 // registry.
-func (d *Domain[T]) registerMetrics(reg *telemetry.Registry, base telemetry.Labels) {
+func (d *Domain[T]) registerMetrics(reg telemetry.Registrar, base telemetry.Labels) {
 	labels := base.With("domain", d.name)
 	reg.RegisterCounter("domain_processed_total", labels, &d.st.processed)
 	reg.RegisterCounter("domain_errors_total", labels, &d.st.errors)

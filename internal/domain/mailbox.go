@@ -54,8 +54,44 @@ type Mailbox[T any] struct {
 	rec   *telemetry.Recorder
 	actor telemetry.ActorID
 
+	// clock is the optional stage clock (SetStageClock): per-payload
+	// hooks bracketing the queueing delay across the domain boundary.
+	// An atomic pointer so attaching after Spawn cannot race the
+	// serving goroutine's receives.
+	clock atomic.Pointer[stageClock[T]]
+
 	// Stats is exported for the management plane.
 	Stats MailboxStats
+}
+
+// stageClock carries the mailbox's trace-stamping hooks. onSend runs
+// while the sender still owns the payload, immediately before enqueue;
+// onRecv runs as the receiver dequeues. Either may be nil.
+type stageClock[T any] struct {
+	onSend func(T)
+	onRecv func(T)
+}
+
+// SetStageClock attaches per-payload tracing hooks: onSend fires just
+// before a payload is enqueued (sender's goroutine, payload borrowed
+// under the linear cell), onRecv just after it is dequeued (receiver's
+// goroutine). The sampled packet tracer uses these to stamp the
+// mailbox-send/mailbox-recv trace stages; the segment between them is
+// the batch's queueing delay across the protection-domain boundary.
+// Safe to call while the mailbox carries traffic; nil hooks detach.
+func (m *Mailbox[T]) SetStageClock(onSend, onRecv func(T)) {
+	if onSend == nil && onRecv == nil {
+		m.clock.Store(nil)
+		return
+	}
+	m.clock.Store(&stageClock[T]{onSend: onSend, onRecv: onRecv})
+}
+
+// clockSend runs the send hook on a payload the caller still owns.
+func (m *Mailbox[T]) clockSend(p linear.Owned[T]) {
+	if c := m.clock.Load(); c != nil && c.onSend != nil {
+		_ = p.With(func(v T) { c.onSend(v) })
+	}
 }
 
 // Observe attaches a flight recorder to the mailbox: every send,
@@ -77,6 +113,17 @@ func (m *Mailbox[T]) noteSend() {
 func (m *Mailbox[T]) noteRecv() {
 	m.Stats.Recvs.Add(1)
 	m.rec.Record(m.actor, telemetry.EvRecv, uint64(len(m.ch)))
+}
+
+// received accounts one successful dequeue: counters, flight-recorder
+// event, and the stage clock's recv hook. Every dequeue site funnels
+// through it so the hooks can never miss a delivery path.
+func (m *Mailbox[T]) received(p linear.Owned[T]) linear.Owned[T] {
+	m.noteRecv()
+	if c := m.clock.Load(); c != nil && c.onRecv != nil {
+		_ = p.With(func(v T) { c.onRecv(v) })
+	}
+	return p
 }
 
 // NewMailbox creates a mailbox holding at most capacity payloads
@@ -128,6 +175,9 @@ func (m *Mailbox[T]) Send(v linear.Owned[T]) error {
 		m.destroy(moved)
 		return ErrMailboxClosed
 	}
+	// The stage clock's send hook runs here, while this goroutine still
+	// owns the payload — after enqueue the receiver may already have it.
+	m.clockSend(moved)
 	select {
 	case m.ch <- moved:
 		m.noteSend()
@@ -151,6 +201,7 @@ func (m *Mailbox[T]) TrySend(v linear.Owned[T]) error {
 		m.destroy(moved)
 		return ErrMailboxClosed
 	}
+	m.clockSend(moved)
 	select {
 	case m.ch <- moved:
 		m.noteSend()
@@ -172,21 +223,18 @@ func (m *Mailbox[T]) Recv() (linear.Owned[T], error) {
 	// the backlog before observing the close.
 	select {
 	case p := <-m.ch:
-		m.noteRecv()
-		return p, nil
+		return m.received(p), nil
 	default:
 	}
 	select {
 	case p := <-m.ch:
-		m.noteRecv()
-		return p, nil
+		return m.received(p), nil
 	case <-m.done:
 		// One more non-blocking look: a payload may have been enqueued
 		// concurrently with Close.
 		select {
 		case p := <-m.ch:
-			m.noteRecv()
-			return p, nil
+			return m.received(p), nil
 		default:
 			return linear.Owned[T]{}, ErrMailboxClosed
 		}
@@ -209,14 +257,12 @@ func (m *Mailbox[T]) recv(quit <-chan struct{}) (linear.Owned[T], error) {
 func (m *Mailbox[T]) recvOrTick(quit <-chan struct{}, tick <-chan time.Time) (linear.Owned[T], error) {
 	select {
 	case p := <-m.ch:
-		m.noteRecv()
-		return p, nil
+		return m.received(p), nil
 	default:
 	}
 	select {
 	case p := <-m.ch:
-		m.noteRecv()
-		return p, nil
+		return m.received(p), nil
 	case <-tick:
 		return linear.Owned[T]{}, errCheckpointDue
 	case <-quit:
@@ -224,8 +270,7 @@ func (m *Mailbox[T]) recvOrTick(quit <-chan struct{}, tick <-chan time.Time) (li
 	case <-m.done:
 		select {
 		case p := <-m.ch:
-			m.noteRecv()
-			return p, nil
+			return m.received(p), nil
 		default:
 			return linear.Owned[T]{}, ErrMailboxClosed
 		}
@@ -236,8 +281,7 @@ func (m *Mailbox[T]) recvOrTick(quit <-chan struct{}, tick <-chan time.Time) (li
 func (m *Mailbox[T]) TryRecv() (linear.Owned[T], bool) {
 	select {
 	case p := <-m.ch:
-		m.noteRecv()
-		return p, true
+		return m.received(p), true
 	default:
 		return linear.Owned[T]{}, false
 	}

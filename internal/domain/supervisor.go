@@ -289,7 +289,12 @@ func Spawn[T any](s *Supervisor, cfg Config[T]) (*Domain[T], error) {
 	d.actor = d.rec.Actor(cfg.Name)
 	d.inbox.Observe(d.rec, d.actor)
 	if s.policy.Registry != nil {
-		d.registerMetrics(s.policy.Registry, s.policy.Labels)
+		// One transaction for the domain's whole series group: a scrape
+		// racing the spawn sees the group entirely or not at all, never
+		// a half-registered domain.
+		txn := s.policy.Registry.Begin()
+		d.registerMetrics(txn, s.policy.Labels)
+		txn.Commit()
 	}
 	s.mu.Lock()
 	s.children = append(s.children, d)

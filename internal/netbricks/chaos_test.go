@@ -26,6 +26,8 @@ import (
 	"repro/internal/netport"
 	"repro/internal/packet"
 	"repro/internal/sfi"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // chaosStage is the injection site and the retired-instance witness: a
@@ -97,13 +99,14 @@ func chaosPipeline(t *testing.T, inj *faultinject.Injector, violations *atomic.U
 // the exact-count assertion for ports whose traffic is externally
 // paced).
 func chaosRun(t *testing.T, port netbricks.BurstPort, workers, batchSize, perWorker int,
-	inj *faultinject.Injector, minFaults int, calmBatches int) {
+	inj *faultinject.Injector, tracer *trace.Tracer, minFaults int, calmBatches int) {
 	t.Helper()
 	var violations atomic.Uint64
 	r := &netbricks.ShardedRunner{
 		Port: port, Workers: workers, BatchSize: batchSize,
 		NewIsolated:  chaosPipeline(t, inj, &violations),
 		Supervise:    true,
+		Tracer:       tracer,
 		MailboxDepth: 2, // keeps the inbox under pressure through restarts
 		Policy: domain.Policy{
 			Backoff:     20 * time.Microsecond,
@@ -198,7 +201,7 @@ func TestChaosSupervisedPipeline(t *testing.T) {
 		inj.StallProb = 0.001
 		inj.StallFor = 3 * time.Millisecond
 
-		chaosRun(t, port, workers, batchSize, perWorker, inj, 5000, 100)
+		chaosRun(t, port, workers, batchSize, perWorker, inj, nil, 5000, 100)
 
 		if inj.Stats.Panics.Load() == 0 || inj.Stats.Stalls.Load() == 0 {
 			t.Fatalf("injector coverage: panics=%d stalls=%d, want both > 0",
@@ -211,6 +214,38 @@ func TestChaosSupervisedPipeline(t *testing.T) {
 			t.Skip("loopback chaos tier skipped in -short")
 		}
 		const perWorker = 400
+
+		// Trace the chaos: sampled spans armed at ingress must be
+		// conservation-accounted no matter how the packet dies — TX
+		// completes, and every shed/fault/drain path aborts. The assert is
+		// registered FIRST so the LIFO cleanup stack runs it LAST, after
+		// port.Close has drained (and aborted) any spans still in flight.
+		rec := telemetry.NewRecorder(1024)
+		tracer := trace.New(trace.Config{SampleEvery: 4, Ring: 64, Recorder: rec})
+		t.Cleanup(func() {
+			armed, completed, aborted := tracer.Counts()
+			t.Logf("trace conservation: armed=%d completed=%d aborted=%d", armed, completed, aborted)
+			if armed != completed+aborted {
+				t.Errorf("trace span leak: armed %d != completed %d + aborted %d",
+					armed, completed, aborted)
+			}
+			if armed == 0 {
+				t.Error("chaos run armed no traces (sampler never fired)")
+			}
+			if aborted == 0 {
+				t.Error("chaos run aborted no traces: domain crashes must truncate in-flight spans")
+			}
+			abortEvents := 0
+			for _, ev := range rec.Dump() {
+				if ev.Kind == telemetry.EvTraceAbort {
+					abortEvents++
+				}
+			}
+			if abortEvents == 0 {
+				t.Error("no EvTraceAbort events in the flight recorder")
+			}
+		})
+
 		port, err := netport.Open(netport.Config{
 			Listen:    "127.0.0.1:0",
 			Queues:    workers,
@@ -218,6 +253,7 @@ func TestChaosSupervisedPipeline(t *testing.T) {
 			BatchSize: batchSize,
 			ReusePort: true, // kernel fan-out under chaos; distributor fallback off Linux
 			PollWait:  20 * time.Millisecond,
+			Tracer:    tracer,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -254,7 +290,7 @@ func TestChaosSupervisedPipeline(t *testing.T) {
 
 		// Externally paced traffic: workers give up after an idle grace,
 		// so the aftermath batch count is >0 but not exact.
-		chaosRun(t, port, workers, batchSize, perWorker, inj, 10, 0)
+		chaosRun(t, port, workers, batchSize, perWorker, inj, tracer, 10, 0)
 
 		// Restarts must not have stranded buffers: with the sender still
 		// live the pool cannot be asserted yet (datagrams are in flight),

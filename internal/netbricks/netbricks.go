@@ -24,6 +24,7 @@ import (
 	"repro/internal/linear"
 	"repro/internal/packet"
 	"repro/internal/sfi"
+	"repro/internal/telemetry/trace"
 )
 
 // BurstPort is the driver contract the runners consume: a multi-queue
@@ -62,6 +63,11 @@ type BurstPort interface {
 type Batch struct {
 	Pkts    []*packet.Packet
 	Dropped []*packet.Packet // packets removed by filters, freed by the runner
+
+	// traced is the subset of Pkts carrying an armed trace span,
+	// collected once at batch build (scanTraced) so stage stamping never
+	// rescans the batch. Empty on all but ~1/N batches.
+	traced []*packet.Packet
 }
 
 // Len reports the number of live packets in the batch.
@@ -190,6 +196,19 @@ func (f *FaultInjector) ProcessBatch(*Batch) error {
 // function calls, batch handed off by moving the linear handle.
 type Pipeline struct {
 	stages []Operator
+
+	// tracer, when set via SetTracer, stamps sampled trace spans after
+	// each recognized stage; stageIDs caches the Name()→Stage mapping.
+	tracer   *trace.Tracer
+	stageIDs []trace.Stage
+}
+
+// SetTracer attaches the sampled packet tracer: after each stage whose
+// name maps to a trace stage, the armed spans in the batch are stamped.
+// Call before traffic; a nil tracer detaches.
+func (p *Pipeline) SetTracer(t *trace.Tracer) {
+	p.tracer = t
+	p.stageIDs = stageIDsFor(p.stages)
 }
 
 // NewPipeline builds a direct-call pipeline.
@@ -203,7 +222,7 @@ func (p *Pipeline) Len() int { return len(p.stages) }
 // Process runs the batch through every stage. Ownership of the batch moves
 // into Process and back out through the return value.
 func (p *Pipeline) Process(b linear.Owned[*Batch]) (linear.Owned[*Batch], error) {
-	for _, st := range p.stages {
+	for i, st := range p.stages {
 		// Hand-off between stages is a move: the previous holder's handle
 		// dies, exactly as NetBricks' linear types guarantee that "only
 		// one pipeline stage can access the batch at any time".
@@ -213,7 +232,12 @@ func (p *Pipeline) Process(b linear.Owned[*Batch]) (linear.Owned[*Batch], error)
 		}
 		b = next
 		var perr error
-		if err := b.With(func(batch *Batch) { perr = st.ProcessBatch(batch) }); err != nil {
+		if err := b.With(func(batch *Batch) {
+			perr = st.ProcessBatch(batch)
+			if perr == nil && p.tracer != nil {
+				stampTraced(p.tracer, batch, p.stageIDs[i])
+			}
+		}); err != nil {
 			return b, fmt.Errorf("pipeline stage %s: %w", st.Name(), err)
 		}
 		if perr != nil {
@@ -237,6 +261,13 @@ type IsolatedStage struct {
 type IsolatedPipeline struct {
 	mgr    *sfi.Manager
 	stages []*IsolatedStage
+
+	// tracer/stageIDs mirror Pipeline's: stamps happen inside the stage
+	// domain, right after a successful ProcessBatch, while the batch is
+	// borrowed across the protection boundary.
+	tracer   *trace.Tracer
+	stageIDs []trace.Stage
+	names    []string
 }
 
 // ErrStageFailed wraps a stage fault with its index.
@@ -266,8 +297,22 @@ func NewIsolatedPipeline(mgr *sfi.Manager, stages []Operator, factories []func()
 			return sfi.ExportAt[Operator](d, slot, factory())
 		})
 		ip.stages = append(ip.stages, &IsolatedStage{Domain: d, RRef: rref})
+		ip.names = append(ip.names, op.Name())
 	}
 	return ip, nil
+}
+
+// SetTracer attaches the sampled packet tracer (see Pipeline.SetTracer).
+func (p *IsolatedPipeline) SetTracer(t *trace.Tracer) {
+	p.tracer = t
+	p.stageIDs = make([]trace.Stage, len(p.names))
+	for i, name := range p.names {
+		id, ok := trace.StageForName(name)
+		if !ok {
+			id = trace.NumStages
+		}
+		p.stageIDs[i] = id
+	}
 }
 
 // Len reports the number of stages.
@@ -287,7 +332,12 @@ func (p *IsolatedPipeline) Process(ctx *sfi.Context, b linear.Owned[*Batch]) (li
 		out, err := sfi.CallMove(ctx, st.RRef, "process", b,
 			func(op Operator, batch linear.Owned[*Batch]) (linear.Owned[*Batch], error) {
 				var perr error
-				if err := batch.With(func(bb *Batch) { perr = op.ProcessBatch(bb) }); err != nil {
+				if err := batch.With(func(bb *Batch) {
+					perr = op.ProcessBatch(bb)
+					if perr == nil && p.tracer != nil {
+						stampTraced(p.tracer, bb, p.stageIDs[i])
+					}
+				}); err != nil {
 					return batch, err
 				}
 				return batch, perr
@@ -347,6 +397,9 @@ type Runner struct {
 	Isolated *IsolatedPipeline
 	// AutoRecover makes the runner recover failed stages and continue.
 	AutoRecover bool
+	// Tracer, when non-nil, is attached to the pipeline at Run: sampled
+	// spans armed by the port are stamped at every recognized stage.
+	Tracer *trace.Tracer
 }
 
 // RunParallel drives the pipeline from workers goroutines, each with its
@@ -393,6 +446,13 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 	if r.BatchSize <= 0 {
 		return RunStats{}, errors.New("netbricks: BatchSize must be positive")
 	}
+	if r.Tracer != nil {
+		if r.Direct != nil {
+			r.Direct.SetTracer(r.Tracer)
+		} else {
+			r.Isolated.SetTracer(r.Tracer)
+		}
+	}
 	var stats RunStats
 	buf := make([]*packet.Packet, r.BatchSize)
 	for i := 0; i < n; i++ {
@@ -401,6 +461,9 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 			break
 		}
 		batch := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
+		if r.Tracer != nil {
+			batch.scanTraced()
+		}
 		owned := linear.New(batch)
 		var err error
 		if r.Direct != nil {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // WorkerStats holds one worker's counters — telemetry cells, so
@@ -48,8 +49,11 @@ type WorkerStats struct {
 	Latency telemetry.Histogram
 }
 
-// register exports the worker's counters and latency histogram on reg.
-func (w *WorkerStats) register(reg *telemetry.Registry, labels telemetry.Labels) {
+// register exports the worker's counters and latency histogram on reg —
+// a Registrar, so Run can batch every worker's group into one atomic
+// install instead of letting a live scrape observe the re-registration
+// half done.
+func (w *WorkerStats) register(reg telemetry.Registrar, labels telemetry.Labels) {
 	reg.RegisterCounter("worker_batches_total", labels, &w.Batches)
 	reg.RegisterCounter("worker_packets_total", labels, &w.Packets)
 	reg.RegisterCounter("worker_drops_total", labels, &w.Drops)
@@ -120,6 +124,12 @@ type ShardedRunner struct {
 	// same registry. Re-running replaces the previous run's series.
 	Registry *telemetry.Registry
 
+	// Tracer, when non-nil, is attached to every worker's pipeline at
+	// Run: sampled spans armed by the port are stamped at each
+	// recognized stage, and in supervised mode the worker mailboxes
+	// stamp the send/recv hops across the protection-domain boundary.
+	Tracer *trace.Tracer
+
 	stats []*WorkerStats
 	sup   atomic.Pointer[domain.Supervisor]
 }
@@ -168,12 +178,15 @@ func (r *ShardedRunner) Run(n int) (RunStats, error) {
 		return RunStats{}, errors.New("netbricks: port has fewer RX queues than workers")
 	}
 	r.stats = make([]*WorkerStats, r.Workers)
+	// Register every worker's series in one transaction: Run may be
+	// re-registering over a previous run's series while the metrics
+	// endpoint serves, and a scrape must never see the generations mixed.
+	txn := r.Registry.Begin()
 	for w := range r.stats {
 		r.stats[w] = &WorkerStats{}
-		if r.Registry != nil {
-			r.stats[w].register(r.Registry, telemetry.Labels{"worker": strconv.Itoa(w)})
-		}
+		r.stats[w].register(txn, telemetry.Labels{"worker": strconv.Itoa(w)})
 	}
+	txn.Commit()
 	if r.Supervise {
 		return r.runSupervised(n)
 	}
@@ -208,6 +221,13 @@ func (r *ShardedRunner) runWorker(w, n int) error {
 			return err
 		}
 	}
+	if r.Tracer != nil {
+		if direct != nil {
+			direct.SetTracer(r.Tracer)
+		} else {
+			isolated.SetTracer(r.Tracer)
+		}
+	}
 	ctx := sfi.NewContext()
 	ws := r.stats[w]
 	buf := make([]*packet.Packet, r.BatchSize)
@@ -225,6 +245,9 @@ func (r *ShardedRunner) runWorker(w, n int) error {
 		idle = 0
 		i++
 		batch := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
+		if r.Tracer != nil {
+			batch.scanTraced()
+		}
 		owned := linear.New(batch)
 		var err error
 		start := time.Now()

@@ -72,14 +72,24 @@ func (r *ShardedRunner) runSupervised(n int) (RunStats, error) {
 // the isolated pipeline's failed stage domains).
 func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Domain[*Batch], error) {
 	ws := r.stats[w]
+	newDirect := func() *Pipeline {
+		p := r.NewDirect(w)
+		if r.Tracer != nil {
+			p.SetTracer(r.Tracer)
+		}
+		return p
+	}
 	var direct atomic.Pointer[Pipeline]
 	var isolated *IsolatedPipeline
 	if r.NewDirect != nil {
-		direct.Store(r.NewDirect(w))
+		direct.Store(newDirect())
 	} else {
 		ip, err := r.NewIsolated(w)
 		if err != nil {
 			return nil, err
+		}
+		if r.Tracer != nil {
+			ip.SetTracer(r.Tracer)
 		}
 		isolated = ip
 	}
@@ -154,7 +164,7 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 		} else {
 			// A fresh pipeline instance: operator state reinitializes from
 			// clean, exactly like a re-exported stage after §3 recovery.
-			direct.Store(r.NewDirect(w))
+			direct.Store(newDirect())
 		}
 		ws.Recovered.Add(1)
 		return nil
@@ -168,7 +178,7 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 	if r.NewState != nil {
 		state = r.NewState(w)
 	}
-	return domain.Spawn(sup, domain.Config[*Batch]{
+	d, err := domain.Spawn(sup, domain.Config[*Batch]{
 		Name:    fmt.Sprintf("worker-%d", w),
 		Mailbox: depth,
 		Handler: handler,
@@ -181,6 +191,15 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 		Recover: recoverFn,
 		State:   state,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if r.Tracer != nil {
+		// The mailbox's stage clock stamps the send/recv hops, so each
+		// trace shows the queueing delay across the domain boundary.
+		d.Inbox().SetStageClock(mailboxStageClock(r.Tracer))
+	}
+	return d, nil
 }
 
 // feedWorker pumps up to n batches from worker w's receive queue into
@@ -205,6 +224,9 @@ func (r *ShardedRunner) feedWorker(d *domain.Domain[*Batch], w, n int) {
 		idle = 0
 		i++
 		b := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
+		if r.Tracer != nil {
+			b.scanTraced()
+		}
 		if err := d.Inbox().Send(linear.New(b)); err != nil {
 			break
 		}

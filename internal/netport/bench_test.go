@@ -19,6 +19,7 @@ import (
 	"repro/internal/netbricks"
 	"repro/internal/netport"
 	"repro/internal/packet"
+	"repro/internal/telemetry/trace"
 )
 
 // benchPipeline mirrors e2ePipeline without the testing.T plumbing.
@@ -53,10 +54,15 @@ type benchOpts struct {
 	batch   int  // syscall burst on both sides
 	sockets int  // pktgen source sockets (REUSEPORT entropy)
 	reuse   bool // kernel fan-out instead of the software distributor
+	sample  int  // trace one in this many ingress frames (0 = tracing off)
 }
 
 func benchLoopback(b *testing.B, o benchOpts) {
 	const workers = 4
+	var tracer *trace.Tracer
+	if o.sample > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: o.sample})
+	}
 	port, err := netport.Open(netport.Config{
 		Listen:     "127.0.0.1:0",
 		Queues:     workers,
@@ -65,6 +71,7 @@ func benchLoopback(b *testing.B, o benchOpts) {
 		ReusePort:  o.reuse,
 		ReadBuffer: 1 << 20,
 		PollWait:   2 * time.Millisecond, // short end-of-traffic grace: 8 idle polls = 16ms tail
+		Tracer:     tracer,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -82,6 +89,7 @@ func benchLoopback(b *testing.B, o benchOpts) {
 		Port: port, Workers: workers, BatchSize: o.batch,
 		NewDirect: benchPipeline(b),
 		Supervise: true,
+		Tracer:    tracer,
 	}
 
 	b.ResetTimer()
@@ -114,6 +122,10 @@ func benchLoopback(b *testing.B, o benchOpts) {
 	// Loss the kernel ate at the socket buffer, invisible to the port's
 	// own exact accounting (sent minus everything the port read).
 	b.ReportMetric(float64(uint64(b.N)-delivered-shed)/float64(b.N), "sockloss_ratio")
+	if tracer != nil {
+		_, completed, _ := tracer.Counts()
+		b.ReportMetric(float64(completed), "traces")
+	}
 
 	if err := port.Close(); err != nil {
 		b.Fatal(err)
@@ -129,6 +141,14 @@ func benchLoopback(b *testing.B, o benchOpts) {
 // guarded by `make bench-gate` sits 20% under the recorded result.
 func BenchmarkNetportLoopback(b *testing.B) {
 	benchLoopback(b, benchOpts{pps: 450000, ring: 2048, batch: 64, sockets: 16, reuse: true})
+}
+
+// BenchmarkNetportLoopbackTraced is the headline configuration with the
+// sampled tracer armed at 1/1024 — the overhead bar from the tracing
+// design: `make bench-gate` asserts this sustains >= 98% of the
+// untraced BenchmarkNetportLoopback pps from the same run.
+func BenchmarkNetportLoopbackTraced(b *testing.B) {
+	benchLoopback(b, benchOpts{pps: 450000, ring: 2048, batch: 64, sockets: 16, reuse: true, sample: 1024})
 }
 
 // BenchmarkNetportLoopbackOverload offers an unpaced firehose into

@@ -8,7 +8,9 @@
 package netport_test
 
 import (
+	"encoding/json"
 	"net"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,7 +22,9 @@ import (
 	"repro/internal/netbricks"
 	"repro/internal/netport"
 	"repro/internal/packet"
+	"repro/internal/session"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // e2ePipeline builds the per-worker direct pipeline factory: the same
@@ -194,6 +198,185 @@ func TestE2ELoopbackPipeline(t *testing.T) {
 		t.Fatal("pipeline forwarded nothing")
 	} else if got := sinkGot.Load(); got == 0 || got > tx {
 		t.Fatalf("sink saw %d datagrams, port transmitted %d", got, tx)
+	}
+}
+
+// TestE2ETraceLoopback is the tracing acceptance path: the full four-NF
+// pipeline (parse → firewall → maglev → session) under live loopback
+// traffic with a sampling tracer armed at netport ingress. Asserts that
+// /debug/traces serves at least one complete trace whose latency vector
+// covers ingress, all four NF stages, the supervised mailbox hops, and
+// TX — and that span conservation (armed == completed + aborted) holds
+// once the port closes.
+func TestE2ETraceLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e loopback tier skipped in -short")
+	}
+	const (
+		workers   = 2
+		batchSize = 32
+		sendCount = 8000
+	)
+	rec := telemetry.NewRecorder(1024)
+	tracer := trace.New(trace.Config{SampleEvery: 16, Ring: 64, Recorder: rec})
+	t.Cleanup(func() { // registered first -> runs last, after port.Close drains
+		armed, completed, aborted := tracer.Counts()
+		t.Logf("trace conservation: armed=%d completed=%d aborted=%d", armed, completed, aborted)
+		if armed != completed+aborted {
+			t.Errorf("trace span leak: armed %d != completed %d + aborted %d",
+				armed, completed, aborted)
+		}
+	})
+	sinkAddr, _ := sinkListen(t)
+	port, err := netport.Open(netport.Config{
+		Listen:    "127.0.0.1:0",
+		Queues:    workers,
+		RingSize:  1024,
+		BatchSize: batchSize,
+		ReusePort: true,
+		PollWait:  20 * time.Millisecond,
+		TxTarget:  sinkAddr,
+		Recorder:  rec,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leakcheck.Pool(t, "traced netport", port.PoolAvailable)
+	t.Cleanup(func() { port.Close() })
+
+	gen := &netport.Pktgen{
+		Target:  port.Addr().String(),
+		Base:    dpdk.DefaultSpec(),
+		Flows:   64,
+		Sockets: 32,
+		Batch:   batchSize,
+		PPS:     40000,
+		Count:   sendCount,
+	}
+	genDone := make(chan error, 1)
+	go func() {
+		_, err := gen.Run(nil)
+		genDone <- err
+	}()
+
+	db := firewall.NewDB(firewall.Deny)
+	if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow}); err != nil {
+		t.Fatal(err)
+	}
+	backends := []maglev.Backend{
+		{Name: "be-0", IP: packet.Addr(10, 1, 0, 1)},
+		{Name: "be-1", IP: packet.Addr(10, 1, 0, 2)},
+	}
+	r := &netbricks.ShardedRunner{
+		Port: port, Workers: workers, BatchSize: batchSize,
+		Supervise: true, // mailbox hops must appear in the traces
+		Tracer:    tracer,
+		NewDirect: func(w int) *netbricks.Pipeline {
+			lb, err := maglev.NewBalancer(backends, maglev.DefaultTableSize)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return netbricks.NewPipeline()
+			}
+			return netbricks.NewPipeline(
+				netbricks.Parse{},
+				firewall.Operator{DB: db},
+				maglev.Operator{LB: lb},
+				session.Operator{T: session.NewTable()},
+			)
+		},
+	}
+	if _, err := r.Run(sendCount); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-genDone; err != nil {
+		t.Fatal(err)
+	}
+	waitQuiescent(t, port)
+
+	armed, completed, _ := tracer.Counts()
+	if armed == 0 {
+		t.Fatal("no spans armed: the ingress sampler never fired")
+	}
+	if completed == 0 {
+		t.Fatal("no spans completed: no traced packet reached TX")
+	}
+
+	// The acceptance bar: at least one dumped trace carries a full
+	// per-stage latency vector across every hop of the supervised path.
+	wantStages := []trace.Stage{
+		trace.StageIngress, trace.StageMailboxSend, trace.StageMailboxRecv,
+		trace.StageParse, trace.StageFirewall, trace.StageMaglev,
+		trace.StageSession, trace.StageTx,
+	}
+	full := 0
+	for _, rcd := range tracer.Dump() {
+		ok := true
+		for _, st := range wantStages {
+			if rcd.Stamps[st] == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no trace visited every stage; dumped %d traces", len(tracer.Dump()))
+	}
+	t.Logf("traces: %d armed, %d completed, %d with the full %d-stage vector",
+		armed, completed, full, len(wantStages))
+
+	// The admin surface serves the same vectors as JSON.
+	w := httptest.NewRecorder()
+	tracer.Handler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	var body struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			ID      uint64 `json:"id"`
+			TotalNS int64  `json:"total_ns"`
+			Stages  []struct {
+				Stage string `json:"stage"`
+				Nanos int64  `json:"nanos"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/debug/traces JSON: %v", err)
+	}
+	if !body.Enabled || len(body.Traces) == 0 {
+		t.Fatalf("/debug/traces: enabled=%v traces=%d", body.Enabled, len(body.Traces))
+	}
+	fullJSON := 0
+	for _, tr := range body.Traces {
+		if len(tr.Stages) == len(wantStages) && tr.TotalNS > 0 {
+			fullJSON++
+		}
+	}
+	if fullJSON == 0 {
+		t.Fatal("/debug/traces serves no complete per-stage latency vector")
+	}
+
+	// /debug/alloc attributes the traced packets' allocation deltas.
+	aw := httptest.NewRecorder()
+	tracer.AllocHandler().ServeHTTP(aw, httptest.NewRequest("GET", "/debug/alloc", nil))
+	var alloc struct {
+		Enabled bool `json:"enabled"`
+		Stages  []struct {
+			Stage   string `json:"stage"`
+			Samples uint64 `json:"samples"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(aw.Body.Bytes(), &alloc); err != nil {
+		t.Fatalf("/debug/alloc JSON: %v", err)
+	}
+	sampled := uint64(0)
+	for _, row := range alloc.Stages {
+		sampled += row.Samples
+	}
+	if !alloc.Enabled || sampled == 0 {
+		t.Fatalf("/debug/alloc: enabled=%v total samples=%d", alloc.Enabled, sampled)
 	}
 }
 

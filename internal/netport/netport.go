@@ -67,6 +67,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/packet"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // MbufSize is the fixed buffer size of an mbuf, matching internal/dpdk's
@@ -176,6 +177,12 @@ type Config struct {
 	// Recorder, when non-nil, receives an EvDrop event (arg = drop
 	// cause) for every shed datagram and backpressure edge events.
 	Recorder *telemetry.Recorder
+	// Tracer, when non-nil, samples packet traces at ingress: each
+	// receive loop arms ~1/N delivered frames (span carried in the
+	// mbuf), TxBurstQueue completes them, and every drop path —
+	// ring-full shed, FreeQueue, Drain — aborts them, so span
+	// accounting balances exactly like mbuf accounting.
+	Tracer *trace.Tracer
 }
 
 // rxQueue is one receive queue: the bounded ingress ring the receive
@@ -229,6 +236,10 @@ type rxLoop struct {
 	bufs    [][]byte
 	lens    []int
 	scratch [][]byte
+
+	// samp is this loop's trace sampler (nil when tracing is off): a
+	// loop-owned counter, so per-worker sampling needs no atomics.
+	samp *trace.Sampler
 }
 
 // Port is a UDP-socket-backed burst port. It satisfies
@@ -251,7 +262,8 @@ type Port struct {
 	low       int // ring depth that clears it
 	reuse     bool
 
-	rec *telemetry.Recorder
+	rec    *telemetry.Recorder
+	tracer *trace.Tracer
 
 	closed atomic.Bool
 
@@ -382,6 +394,7 @@ func newPort(cfg Config) (*Port, error) {
 		pollWait: cfg.PollWait,
 		batch:    cfg.BatchSize,
 		rec:      cfg.Recorder,
+		tracer:   cfg.Tracer,
 		pool: mempool.NewPool(cfg.PoolSize, func() *packet.Packet {
 			return &packet.Packet{Data: make([]byte, 0, MbufSize)}
 		}),
@@ -427,6 +440,7 @@ func (p *Port) newLoop(conn *net.UDPConn, bc batchConn, queue int) *rxLoop {
 		bufs:    make([][]byte, b),
 		lens:    make([]int, b),
 		scratch: make([][]byte, b),
+		samp:    p.tracer.NewSampler(),
 	}
 	for i := range l.scratch {
 		l.scratch[i] = make([]byte, MbufSize)
@@ -563,8 +577,13 @@ func (p *Port) deliver(l *rxLoop, pkt *packet.Packet, n int) {
 	}
 	pkt.RxQueue = q
 	pkt.RxHash = hash
+	// Arm the sampled trace while this loop still owns the mbuf — after
+	// enqueue a worker may already be stamping it. The untraced path
+	// pays one counter increment and branch here, nothing else.
+	l.samp.MaybeArm(&pkt.Trace, q)
 	rq := p.queues[q]
 	if rq.ring.Enqueue(pkt) != nil {
+		p.tracer.Abort(&pkt.Trace) // armed span sheds with its mbuf
 		l.put(pkt)
 		p.shed(&p.Stats.RingFull, DropRingFull, rq.actor)
 		return
@@ -671,6 +690,16 @@ func (p *Port) TxBurstQueue(q int, pkts []*packet.Packet) int {
 	}
 	p.Stats.TxPackets.Add(uint64(sent))
 	p.Stats.TxBytes.Add(bytes)
+	if p.tracer != nil {
+		// Complete sampled traces at TX, while the worker still owns the
+		// buffers: stamps StageTx, feeds the per-stage histograms, and
+		// publishes the full vector to /debug/traces.
+		for _, pkt := range pkts {
+			if pkt != nil && pkt.Trace.Armed() {
+				p.tracer.Complete(&pkt.Trace)
+			}
+		}
+	}
 	rq.mu.Lock()
 	for _, pkt := range pkts {
 		if pkt != nil {
@@ -688,6 +717,16 @@ func (p *Port) TxBurst(pkts []*packet.Packet) int { return p.TxBurstQueue(0, pkt
 // transmitting them (drops).
 func (p *Port) FreeQueue(q int, pkts []*packet.Packet) {
 	rq := p.queue(q)
+	if p.tracer != nil {
+		// A freed (not transmitted) packet ends any sampled trace as a
+		// truncated span: NF drops, faulted batches, and reclaimed
+		// mailbox payloads all surface as EvTraceAbort, never a leak.
+		for _, pkt := range pkts {
+			if pkt != nil && pkt.Trace.Armed() {
+				p.tracer.Abort(&pkt.Trace)
+			}
+		}
+	}
 	rq.mu.Lock()
 	for _, pkt := range pkts {
 		if pkt != nil {
@@ -712,6 +751,7 @@ func (p *Port) Drain() {
 			if err != nil {
 				break
 			}
+			p.tracer.Abort(&pkt.Trace) // undelivered at shutdown: truncated span
 			p.pool.Put(pkt)
 		}
 		rq.mu.Lock()

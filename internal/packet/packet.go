@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry/trace"
 )
 
 // Header sizes and protocol constants.
@@ -121,6 +123,12 @@ type Packet struct {
 	RxQueue int    // ingress RX queue index, set by the driver
 	RxHash  uint32 // RSS hash deposited by the (simulated) NIC
 	UserTag uint64 // scratch word for NF state (e.g. chosen backend)
+
+	// Trace is the sampled-tracing span riding in the mbuf: a fixed-size
+	// pointer-free value struct, unarmed (all zero) for all but ~1/N
+	// packets. Netport ingress arms it, pipeline stages stamp it, and TX
+	// completes it (any drop path aborts it instead).
+	Trace trace.Span
 }
 
 // Len returns the frame length in bytes.
@@ -132,13 +140,19 @@ func (p *Packet) Parsed() bool { return p.parsed }
 // Tuple returns the cached 5-tuple; Parse must have succeeded.
 func (p *Packet) Tuple() FiveTuple { return p.tuple }
 
-// Reset clears parse state so the buffer can be refilled in place.
+// Reset clears parse state so the buffer can be refilled in place. A
+// stale armed span (impossible when the port's complete/abort accounting
+// balances, but cheap to guard) is cleared so a recycled mbuf never
+// resurrects a trace; the unarmed case pays one field compare.
 func (p *Packet) Reset() {
 	p.parsed = false
 	p.UserTag = 0
 	p.RxPort = 0
 	p.RxQueue = 0
 	p.RxHash = 0
+	if p.Trace.Armed() {
+		p.Trace.Clear()
+	}
 }
 
 // Parse validates Ethernet/IPv4/{TCP,UDP} framing and caches offsets and

@@ -46,6 +46,13 @@ const (
 	// EvColdStart: a restarted domain had no completed checkpoint epoch
 	// and reset to zero state instead.
 	EvColdStart
+	// EvTrace: a sampled packet trace completed at TX. Arg = trace ID,
+	// the exemplar link into /debug/traces.
+	EvTrace
+	// EvTraceAbort: a sampled packet trace ended without reaching TX —
+	// the packet was dropped, its batch faulted, or its domain crashed
+	// with the trace in flight. Arg = trace ID.
+	EvTraceAbort
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +84,10 @@ func (k EventKind) String() string {
 		return "restore"
 	case EvColdStart:
 		return "coldstart"
+	case EvTrace:
+		return "trace"
+	case EvTraceAbort:
+		return "trace-abort"
 	default:
 		return fmt.Sprintf("kind(%d)", uint32(k))
 	}

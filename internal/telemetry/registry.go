@@ -108,37 +108,147 @@ func (r *Registry) add(m *metric) {
 	r.mu.Unlock()
 }
 
+// Series constructors shared by the Registry's immediate registration
+// and the Txn's batched one.
+
+func counterMetric(name string, labels Labels, c *Counter) *metric {
+	return &metric{name: name, labels: labels.String(), kind: counterKind,
+		read: func() float64 { return float64(c.Load()) }}
+}
+
+func counterFuncMetric(name string, labels Labels, fn func() float64) *metric {
+	return &metric{name: name, labels: labels.String(), kind: counterKind, read: fn}
+}
+
+func gaugeMetric(name string, labels Labels, g *Gauge) *metric {
+	return &metric{name: name, labels: labels.String(), kind: gaugeKind,
+		read: func() float64 { return float64(g.Load()) }}
+}
+
+func gaugeFuncMetric(name string, labels Labels, fn func() float64) *metric {
+	return &metric{name: name, labels: labels.String(), kind: gaugeKind, read: fn}
+}
+
+func histogramMetric(name string, labels Labels, h *Histogram) *metric {
+	return &metric{name: name, labels: labels.String(), kind: histogramKind, hist: h}
+}
+
 // RegisterCounter exports c under name+labels.
 func (r *Registry) RegisterCounter(name string, labels Labels, c *Counter) {
-	r.add(&metric{name: name, labels: labels.String(), kind: counterKind,
-		read: func() float64 { return float64(c.Load()) }})
+	r.add(counterMetric(name, labels, c))
 }
 
 // RegisterCounterFunc exports a counter whose value is computed at
 // scrape time (for monotonic values kept in a foreign representation,
 // e.g. accumulated backoff nanoseconds).
 func (r *Registry) RegisterCounterFunc(name string, labels Labels, fn func() float64) {
-	r.add(&metric{name: name, labels: labels.String(), kind: counterKind, read: fn})
+	r.add(counterFuncMetric(name, labels, fn))
 }
 
 // RegisterGauge exports g under name+labels.
 func (r *Registry) RegisterGauge(name string, labels Labels, g *Gauge) {
-	r.add(&metric{name: name, labels: labels.String(), kind: gaugeKind,
-		read: func() float64 { return float64(g.Load()) }})
+	r.add(gaugeMetric(name, labels, g))
 }
 
 // RegisterGaugeFunc exports a gauge computed at scrape time (mailbox
 // depth, pool occupancy). fn may take locks; it runs only on the read
 // path.
 func (r *Registry) RegisterGaugeFunc(name string, labels Labels, fn func() float64) {
-	r.add(&metric{name: name, labels: labels.String(), kind: gaugeKind, read: fn})
+	r.add(gaugeFuncMetric(name, labels, fn))
 }
 
 // RegisterHistogram exports h under name+labels. By convention latency
 // histograms are named *_seconds; buckets and sums are exported in
 // seconds regardless of the nanosecond cells inside.
 func (r *Registry) RegisterHistogram(name string, labels Labels, h *Histogram) {
-	r.add(&metric{name: name, labels: labels.String(), kind: histogramKind, hist: h})
+	r.add(histogramMetric(name, labels, h))
+}
+
+// Registrar is the registration surface a component exports its metrics
+// through — satisfied by *Registry (each series installs immediately)
+// and by *Txn (series install together at Commit). Components that
+// register a related group of series while scrapes may be in flight
+// should take a Registrar so callers can make the group atomic.
+type Registrar interface {
+	RegisterCounter(name string, labels Labels, c *Counter)
+	RegisterCounterFunc(name string, labels Labels, fn func() float64)
+	RegisterGauge(name string, labels Labels, g *Gauge)
+	RegisterGaugeFunc(name string, labels Labels, fn func() float64)
+	RegisterHistogram(name string, labels Labels, h *Histogram)
+}
+
+var (
+	_ Registrar = (*Registry)(nil)
+	_ Registrar = (*Txn)(nil)
+)
+
+// Txn batches registrations into one atomic install. Registering series
+// one call at a time is fine before traffic, but a registration burst
+// while the metrics endpoint is live — a runner re-registering its
+// per-worker series at Run time, a supervisor spawning domains — lets a
+// concurrent scrape observe the group half-replaced: some series from
+// the new generation, some from the old (or missing). A Txn accumulates
+// the group and Commit installs it under one lock hold, so every
+// snapshot sees the group entirely before or entirely after.
+//
+// A Txn is single-goroutine (accumulate, then Commit once); the Commit
+// itself is what synchronizes with scrapes. A Txn from a nil registry
+// discards everything, preserving the registry's nil-is-disabled
+// contract.
+type Txn struct {
+	r       *Registry
+	pending []*metric
+}
+
+// Begin opens a registration transaction on r.
+func (r *Registry) Begin() *Txn { return &Txn{r: r} }
+
+func (t *Txn) add(m *metric) {
+	if t.r == nil {
+		return
+	}
+	t.pending = append(t.pending, m)
+}
+
+// RegisterCounter stages c for Commit.
+func (t *Txn) RegisterCounter(name string, labels Labels, c *Counter) {
+	t.add(counterMetric(name, labels, c))
+}
+
+// RegisterCounterFunc stages a computed counter for Commit.
+func (t *Txn) RegisterCounterFunc(name string, labels Labels, fn func() float64) {
+	t.add(counterFuncMetric(name, labels, fn))
+}
+
+// RegisterGauge stages g for Commit.
+func (t *Txn) RegisterGauge(name string, labels Labels, g *Gauge) {
+	t.add(gaugeMetric(name, labels, g))
+}
+
+// RegisterGaugeFunc stages a computed gauge for Commit.
+func (t *Txn) RegisterGaugeFunc(name string, labels Labels, fn func() float64) {
+	t.add(gaugeFuncMetric(name, labels, fn))
+}
+
+// RegisterHistogram stages h for Commit.
+func (t *Txn) RegisterHistogram(name string, labels Labels, h *Histogram) {
+	t.add(histogramMetric(name, labels, h))
+}
+
+// Commit installs every staged series under one lock hold, making the
+// whole group visible to scrapes at once. The Txn empties and may be
+// reused.
+func (t *Txn) Commit() {
+	if t.r == nil || len(t.pending) == 0 {
+		t.pending = nil
+		return
+	}
+	t.r.mu.Lock()
+	for _, m := range t.pending {
+		t.r.metrics[m.key()] = m
+	}
+	t.r.mu.Unlock()
+	t.pending = nil
 }
 
 // Unregister removes the series with the given name+labels, if present.

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// BenchmarkTraceRecordPathUntraced measures the cost every packet pays
+// when tracing is on but this packet is not sampled: the sampler miss
+// plus one unarmed stamp. The alloc gate in `make check` pins this at
+// 0 allocs/op.
+func BenchmarkTraceRecordPathUntraced(b *testing.B) {
+	tr := New(Config{SampleEvery: 1 << 30})
+	samp := tr.NewSampler()
+	var sp Span
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samp.MaybeArm(&sp, 0)
+		sp.StampAt(StageParse, Mark{})
+	}
+}
+
+// BenchmarkTraceRecordPathArmed measures the full traced path for one
+// sampled packet: arm at ingress, four NF stamps, complete into the ring
+// with a flight-recorder event. Also pinned at 0 allocs/op.
+func BenchmarkTraceRecordPathArmed(b *testing.B) {
+	rec := telemetry.NewRecorder(256)
+	tr := New(Config{SampleEvery: 1, Recorder: rec})
+	samp := tr.NewSampler()
+	var sp Span
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samp.MaybeArm(&sp, 0)
+		m := tr.Now()
+		sp.StampAt(StageParse, m)
+		sp.StampAt(StageFirewall, m)
+		sp.StampAt(StageMaglev, m)
+		sp.StampAt(StageSession, m)
+		tr.Complete(&sp)
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceSpanEncode asserts the /debug/traces dump shape round-trips
+// through JSON exactly: a Record built from arbitrary bytes marshals and
+// unmarshals back to itself (uint64 stamps and alloc counters must not
+// lose precision or change sign), and its derived views never panic or
+// go negative.
+func FuzzTraceSpanEncode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	seed := make([]byte, 8*(2+2*int(NumStages)))
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Deterministically fill a Record from the input bytes.
+		next := func() uint64 {
+			if len(data) == 0 {
+				return 0
+			}
+			var buf [8]byte
+			n := copy(buf[:], data)
+			data = data[n:]
+			return binary.LittleEndian.Uint64(buf[:])
+		}
+		var r Record
+		r.ID = next()
+		r.Worker = int32(next())
+		for st := 0; st < int(NumStages); st++ {
+			r.Stamps[st] = int64(next())
+			r.Allocs[st] = next()
+		}
+
+		enc, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Record
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Fatalf("round-trip changed the record:\n  in:  %+v\n  out: %+v", r, back)
+		}
+
+		// Derived views must hold their invariants on arbitrary stamps.
+		for _, seg := range r.Segments() {
+			if seg.Nanos < 0 {
+				t.Fatalf("negative segment: %+v", seg)
+			}
+			if seg.Stage == "" {
+				t.Fatalf("unnamed segment: %+v", seg)
+			}
+		}
+		if r.Total() < 0 {
+			t.Fatalf("negative total %v", r.Total())
+		}
+	})
+}
