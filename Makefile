@@ -6,7 +6,7 @@ GO ?= go
 # telemetry core every one of them records into, and both port
 # implementations (the simulated NIC's steered distributor and the
 # socket-backed port's receive loop).
-RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry ./internal/telemetry/trace ./internal/netport ./internal/dpdk ./internal/checkpoint ./internal/session
+RACE_PKGS = ./internal/netbricks ./internal/mempool ./internal/linear ./internal/domain/... ./internal/telemetry ./internal/telemetry/trace ./internal/netport ./internal/dpdk ./internal/checkpoint ./internal/session ./internal/statestore
 
 # Per-benchmark time for the JSON bench run; raise for stabler numbers.
 BENCHTIME ?= 0.5s
@@ -16,11 +16,17 @@ BENCHTIME ?= 0.5s
 # single-core machine) minus 20% of headroom for scheduler noise.
 NETPORT_PPS_FLOOR ?= 320000
 
-.PHONY: check build test test-e2e race race-all vet guard-atomics alloc-gate fuzz bench bench-all bench-gate
+# Ceiling for the durable-checkpoint overhead gate: a group-committed
+# epoch to disk measured ~1.2x the in-memory checkpoint+encode on this
+# class of machine; 4x leaves room for slow CI disks without letting the
+# WAL become a multiple-of-RAM cliff.
+STATESTORE_OVERHEAD_MAX ?= 4.0
+
+.PHONY: check build test test-e2e test-recovery race race-all vet guard-atomics alloc-gate fuzz bench bench-all bench-gate
 
 ## check: the PR gate — vet, build, full tests, race tier, e2e tier,
-## atomics guard, zero-allocation gate.
-check: vet build test race test-e2e guard-atomics alloc-gate
+## kill -9 recovery tier, atomics guard, zero-allocation gate.
+check: vet build test race test-e2e test-recovery guard-atomics alloc-gate
 
 ## guard-atomics: hot-path counters must be typed atomic cells
 ## (atomic.Uint64 / telemetry.Counter), never raw integers passed to the
@@ -61,6 +67,13 @@ test:
 test-e2e:
 	$(GO) test -timeout 120s -run 'TestE2E|TestChaosSupervisedPipeline' ./internal/netport ./internal/netbricks
 
+## test-recovery: the durable-state acceptance tier — a supervised
+## pipeline persisting checkpoint epochs over live loopback traffic is
+## killed with SIGKILL mid-run; a cold reopen of its state directory
+## must restore the exact fault-free oracle with zero cold starts.
+test-recovery:
+	$(GO) test -timeout 180s -run 'TestRecoveryKill9' -count=1 ./internal/statestore
+
 ## race: race-detector pass over the concurrency-bearing packages.
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -78,6 +91,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzNetportDecode -fuzztime=10s ./internal/netport
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRestore -fuzztime=10s ./internal/checkpoint
 	$(GO) test -run='^$$' -fuzz=FuzzTraceSpanEncode -fuzztime=10s ./internal/telemetry/trace
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/statestore
 
 ## bench: the pipeline throughput benches (direct/isolated/sharded/
 ## supervised, steady and faulting), recorded machine-readably in
@@ -93,6 +107,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_checkpoint.json
 	$(GO) test -run='^$$' -bench='TraceRecordPath|NetportLoopbackTraced' -benchmem -benchtime=$(BENCHTIME) ./internal/telemetry/trace ./internal/netport \
 		| $(GO) run ./cmd/benchjson -out BENCH_trace.json
+	$(GO) test -run='^$$' -bench='CheckpointEpoch|FlowIndex' -benchmem -benchtime=$(BENCHTIME) ./internal/statestore \
+		| $(GO) run ./cmd/benchjson -out BENCH_statestore.json
 
 ## bench-all: the full testing.B harness (human-readable only).
 bench-all:
@@ -108,3 +124,5 @@ bench-gate:
 	$(GO) test -run='^$$' -bench='NetportLoopback(Traced)?$$' -benchtime=2s -count=1 ./internal/netport \
 		| $(GO) run ./cmd/benchgate -bench BenchmarkNetportLoopbackTraced -metric pps \
 			-baseline BenchmarkNetportLoopback -min-frac 0.98
+	$(GO) test -run='^$$' -bench='CheckpointEpochDisk$$' -benchtime=2s -count=1 ./internal/statestore \
+		| $(GO) run ./cmd/benchgate -bench BenchmarkCheckpointEpochDisk -metric x-ram -max $(STATESTORE_OVERHEAD_MAX)

@@ -61,6 +61,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/session"
 	"repro/internal/sfi"
+	"repro/internal/statestore"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
 )
@@ -94,19 +95,46 @@ func (f *faultyStage) ProcessBatch(b *netbricks.Batch) error {
 // validateFlags rejects contradictory flag combinations up front, so the
 // process exits with a usage error instead of silently letting one mode
 // win. set holds the names of flags the user passed explicitly.
-func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Duration, traceSample int) error {
+func validateFlags(set map[string]bool, supervise bool, checkpointEvery time.Duration, traceSample int, stateDir, fsync string) error {
 	if set["target"] {
 		// Pktgen mode: only pktgen knobs make sense alongside it.
 		for _, name := range []string{
 			"listen", "egress", "reuseport", "direct", "supervise", "inject",
 			"crashrate", "checkpoint-every", "workers", "batches", "size",
-			"metrics-addr", "stats-interval", "trace-sample",
+			"metrics-addr", "stats-interval", "trace-sample", "state-dir", "fsync",
 		} {
 			if set[name] {
 				return fmt.Errorf("-target (pktgen mode) conflicts with -%s", name)
 			}
 		}
 		return nil
+	}
+	if set["state-dir"] {
+		if checkpointEvery == 0 {
+			return fmt.Errorf("-state-dir persists checkpoint epochs; it contradicts -checkpoint-every=0 (pass -checkpoint-every > 0)")
+		}
+		if stateDir == "" {
+			return fmt.Errorf("-state-dir needs a directory path")
+		}
+		// Probe writability now: an unusable state directory is a usage
+		// error at startup, not a persist failure minutes into a run.
+		if err := os.MkdirAll(stateDir, 0o755); err != nil {
+			return fmt.Errorf("-state-dir %s is not usable: %v", stateDir, err)
+		}
+		probe, err := os.CreateTemp(stateDir, ".probe-*")
+		if err != nil {
+			return fmt.Errorf("-state-dir %s is not writable: %v", stateDir, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	if set["fsync"] {
+		if !set["state-dir"] {
+			return fmt.Errorf("-fsync selects the state-store durability mode; it needs -state-dir")
+		}
+		if _, err := statestore.ParseFsyncMode(fsync); err != nil {
+			return err
+		}
 	}
 	if set["egress"] && !set["listen"] {
 		return fmt.Errorf("-egress forwards received traffic; it needs -listen")
@@ -168,12 +196,15 @@ func main() {
 
 		checkpointEvery = flag.Duration("checkpoint-every", 0, "with -supervise: snapshot each worker's NF state at this epoch length; restarts restore the last good snapshot (0 = off)")
 
+		stateDir  = flag.String("state-dir", "", "with -checkpoint-every: persist completed epochs to a WAL in this directory; a restart with the same directory restores the last durable epoch")
+		fsyncMode = flag.String("fsync", "group", "with -state-dir: WAL durability mode — group (fsync once per commit wave), always (fsync every epoch), none (page cache only)")
+
 		traceSample = flag.Int("trace-sample", 0, "with -listen: arm a sampled packet trace on one in N ingress frames per receive loop (power of two; 0 = off); completed traces serve at /debug/traces")
 	)
 	flag.Parse()
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
-	if err := validateFlags(setFlags, *supervise, *checkpointEvery, *traceSample); err != nil {
+	if err := validateFlags(setFlags, *supervise, *checkpointEvery, *traceSample, *stateDir, *fsyncMode); err != nil {
 		fmt.Fprintf(flag.CommandLine.Output(), "nf-pipeline: %v\n\n", err)
 		flag.Usage()
 		osExit(2)
@@ -209,6 +240,21 @@ func main() {
 	// path is pure atomics, so there is nothing to turn off.
 	reg := telemetry.NewRegistry()
 	rec := telemetry.NewRecorder(256)
+	var store *statestore.Store
+	if *stateDir != "" {
+		mode, merr := statestore.ParseFsyncMode(*fsyncMode)
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		var serr error
+		store, serr = statestore.Open(statestore.Config{Dir: *stateDir, Fsync: mode})
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		defer store.Close()
+		store.RegisterMetrics(reg, nil)
+		log.Printf("durable state: %s (fsync=%s), %d domains with a prior epoch", *stateDir, mode, store.EpochCount())
+	}
 	var tracer *trace.Tracer
 	if *traceSample > 0 {
 		tracer = trace.New(trace.Config{SampleEvery: *traceSample, Ring: 256, Recorder: rec})
@@ -342,6 +388,15 @@ func main() {
 		}
 		balancers[w] = lb
 		tables[w] = session.NewTable()
+		if store != nil {
+			// The RAM session table becomes a cache over the on-disk flow
+			// index: evictions spill, misses promote back.
+			ix, ierr := store.FlowIndex(fmt.Sprintf("worker-%d", w))
+			if ierr != nil {
+				log.Fatal(ierr)
+			}
+			tables[w].SetSpill(ix, 1<<17)
+		}
 		if fwStates != nil {
 			fws, err := firewall.NewStateful(newRuleDB())
 			if err != nil {
@@ -430,6 +485,11 @@ func main() {
 					Add("session", tables[w])
 			}
 		}
+		if store != nil {
+			// Guarded assignment: a nil *Store inside the interface would
+			// read as non-nil to the domain layer.
+			runner.Policy.Persist = store
+		}
 		if *direct {
 			runner.NewDirect = func(w int) *netbricks.Pipeline {
 				return netbricks.NewPipeline(stagesFor(w)...)
@@ -496,6 +556,11 @@ func main() {
 		backendCount += t.Backends()
 	}
 	fmt.Printf("session:    %d tracked flows over %d backend handles\n", flowCount, backendCount)
+	if store != nil {
+		ss := store.StatsSnapshot()
+		fmt.Printf("statestore: %d epochs persisted (%d bytes, %d fsyncs, %d compactions), %d flows spilled, %d promoted, wal=%dB\n",
+			ss.Persisted, ss.PersistBytes, ss.Fsyncs, ss.Compactions, ss.Spilled, ss.Promotions, ss.WALBytes)
+	}
 	if sockPort != nil {
 		s := &sockPort.Stats
 		fmt.Printf("port:       rx_datagrams=%d delivered=%d tx=%d tx_errors=%d\n",

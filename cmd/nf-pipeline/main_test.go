@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -14,12 +16,23 @@ func TestValidateFlags(t *testing.T) {
 		}
 		return m
 	}
+	writable := t.TempDir()
+	// A path below a regular file can never become a directory — the
+	// portable "unusable state dir" (works even as root, where mode-0
+	// directories are still writable).
+	blockerFile := filepath.Join(writable, "blocker")
+	if err := os.WriteFile(blockerFile, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unusable := filepath.Join(blockerFile, "state")
 	cases := []struct {
 		name      string
 		set       map[string]bool
 		supervise bool
 		every     time.Duration
 		sample    int
+		stateDir  string
+		fsync     string
 		wantErr   string // empty = valid
 	}{
 		{name: "defaults", set: set()},
@@ -62,10 +75,38 @@ func TestValidateFlags(t *testing.T) {
 			wantErr: "must be >= 1"},
 		{name: "trace-sample not a power of two", set: set("listen", "trace-sample"), sample: 1000,
 			wantErr: "power of two"},
+		{name: "durable checkpointing", set: set("supervise", "checkpoint-every", "state-dir"),
+			supervise: true, every: 10 * time.Millisecond, stateDir: filepath.Join(writable, "state")},
+		{name: "durable with explicit fsync", set: set("supervise", "checkpoint-every", "state-dir", "fsync"),
+			supervise: true, every: 10 * time.Millisecond, stateDir: filepath.Join(writable, "state2"), fsync: "always"},
+		{name: "state-dir without checkpointing", set: set("state-dir"),
+			stateDir: filepath.Join(writable, "state3"), wantErr: "contradicts -checkpoint-every=0"},
+		// -checkpoint-every=0 passed explicitly alongside -state-dir: the
+		// contradiction check is on the value, not flag presence.
+		{name: "state-dir with checkpoint-every=0", set: set("supervise", "checkpoint-every", "state-dir"),
+			supervise: true, every: 0, stateDir: filepath.Join(writable, "state4"),
+			wantErr: "contradicts -checkpoint-every=0"},
+		{name: "empty state-dir", set: set("supervise", "checkpoint-every", "state-dir"),
+			supervise: true, every: 10 * time.Millisecond, stateDir: "",
+			wantErr: "needs a directory path"},
+		{name: "unusable state-dir", set: set("supervise", "checkpoint-every", "state-dir"),
+			supervise: true, every: 10 * time.Millisecond, stateDir: unusable,
+			wantErr: "not usable"},
+		{name: "fsync without state-dir", set: set("supervise", "checkpoint-every", "fsync"),
+			supervise: true, every: 10 * time.Millisecond, fsync: "group",
+			wantErr: "needs -state-dir"},
+		{name: "bad fsync value", set: set("supervise", "checkpoint-every", "state-dir", "fsync"),
+			supervise: true, every: 10 * time.Millisecond,
+			stateDir: filepath.Join(writable, "state5"), fsync: "sometimes",
+			wantErr: "fsync mode"},
+		{name: "target conflicts with state-dir", set: set("target", "state-dir"),
+			stateDir: filepath.Join(writable, "state6"), wantErr: "conflicts with -state-dir"},
+		{name: "target conflicts with fsync", set: set("target", "fsync"),
+			fsync: "group", wantErr: "conflicts with -fsync"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.set, tc.supervise, tc.every, tc.sample)
+			err := validateFlags(tc.set, tc.supervise, tc.every, tc.sample, tc.stateDir, tc.fsync)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

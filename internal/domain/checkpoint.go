@@ -18,6 +18,7 @@ package domain
 // zero state.
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,31 @@ type Stateful interface {
 	// Reset reinitializes to clean boot state — the cold start taken
 	// when no checkpoint epoch has completed (or under RestoreCold).
 	Reset()
+}
+
+// TokenCodec is the optional durability extension of Stateful: states
+// that can serialize their checkpoint tokens to bytes (and back) can be
+// persisted through a Policy.Persist store and survive process death,
+// not just domain restarts. DecodeToken must return a token acceptable
+// to the same state's Restore, and must not touch live state — the
+// runtime may decode before the state ever serves.
+type TokenCodec interface {
+	// EncodeToken serializes a token previously returned by Checkpoint.
+	EncodeToken(token any) ([]byte, error)
+	// DecodeToken rebuilds a restorable token from EncodeToken's bytes.
+	DecodeToken(data []byte) (any, error)
+}
+
+// Persister is the durable epoch store the runtime appends encoded
+// checkpoint tokens to — implemented by statestore.Store (structurally;
+// the domain runtime stays storage-agnostic). Implementations must be
+// safe for concurrent use: every domain of a supervisor shares one.
+type Persister interface {
+	// PersistEpoch durably records the named domain's epoch seq.
+	// seq is monotonic per name within and across process lifetimes.
+	PersistEpoch(name string, seq uint64, payload []byte) error
+	// LastEpoch returns the newest durable epoch for the named domain.
+	LastEpoch(name string) (payload []byte, seq uint64, ok bool, err error)
 }
 
 // RestoreMode selects what a restarted domain's state recovery does.
@@ -127,11 +153,74 @@ func (s *StateSet) Reset() {
 	}
 }
 
+// EncodeToken implements TokenCodec when every component does: the
+// positional token serializes as a length-prefixed part per component.
+func (s *StateSet) EncodeToken(token any) ([]byte, error) {
+	tokens, ok := token.([]any)
+	if !ok || len(tokens) != len(s.parts) {
+		return nil, fmt.Errorf("domain: state-set token has wrong shape (%T)", token)
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(tokens)))
+	for i, p := range s.parts {
+		c, ok := p.(TokenCodec)
+		if !ok {
+			return nil, fmt.Errorf("domain: state %s (%T) does not implement TokenCodec", s.names[i], p)
+		}
+		b, err := c.EncodeToken(tokens[i])
+		if err != nil {
+			return nil, fmt.Errorf("state %s: encode: %w", s.names[i], err)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf, nil
+}
+
+// DecodeToken rebuilds the positional token, delegating each part to
+// its component's codec. The part count must match the set's shape.
+func (s *StateSet) DecodeToken(data []byte) (any, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("domain: state-set token truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if n != len(s.parts) {
+		return nil, fmt.Errorf("domain: state-set token has %d parts, set has %d", n, len(s.parts))
+	}
+	tokens := make([]any, n)
+	for i, p := range s.parts {
+		c, ok := p.(TokenCodec)
+		if !ok {
+			return nil, fmt.Errorf("domain: state %s (%T) does not implement TokenCodec", s.names[i], p)
+		}
+		if len(data) < 4 {
+			return nil, fmt.Errorf("domain: state-set token truncated at %s", s.names[i])
+		}
+		partLen := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < partLen {
+			return nil, fmt.Errorf("domain: state-set token truncated at %s", s.names[i])
+		}
+		tok, err := c.DecodeToken(data[:partLen])
+		if err != nil {
+			return nil, fmt.Errorf("state %s: decode: %w", s.names[i], err)
+		}
+		tokens[i] = tok
+		data = data[partLen:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("domain: state-set token has %d trailing bytes", len(data))
+	}
+	return tokens, nil
+}
+
 // ckptToken is one published checkpoint: the adapter's opaque token plus
-// the serving epoch and wall time it was taken at.
+// the serving epoch and wall time it was taken at. seq is the durable
+// sequence number (0 when persistence is off).
 type ckptToken struct {
 	token any
 	epoch uint64
+	seq   uint64
 	at    time.Time
 }
 
@@ -151,12 +240,24 @@ type ckptState struct {
 	// (idle ticker and post-invocation dueness check).
 	lastAttempt atomic.Int64
 
-	taken      telemetry.Counter
-	failed     telemetry.Counter
-	restores   telemetry.Counter
-	coldStarts telemetry.Counter
-	ckptLat    telemetry.Histogram
-	restoreLat telemetry.Histogram
+	// Durability (nil/zero when Policy.Persist is unset): every published
+	// epoch is encoded through codec and appended to persist under a
+	// per-domain monotonic sequence, and Spawn seeds last from the store's
+	// newest durable epoch so process restarts restore instead of
+	// cold-starting.
+	persist Persister
+	codec   TokenCodec
+	seq     atomic.Uint64
+
+	taken         telemetry.Counter
+	failed        telemetry.Counter
+	restores      telemetry.Counter
+	coldStarts    telemetry.Counter
+	persisted     telemetry.Counter
+	persistFailed telemetry.Counter
+	ckptLat       telemetry.Histogram
+	restoreLat    telemetry.Histogram
+	persistLat    telemetry.Histogram
 }
 
 // due reports whether a full epoch has elapsed since the last attempt.
@@ -188,10 +289,77 @@ func (d *Domain[T]) takeCheckpoint(epoch uint64) (fault error) {
 		return nil
 	}
 	lat := time.Since(start)
-	ck.last.Store(&ckptToken{token: token, epoch: epoch, at: start})
+	tok := &ckptToken{token: token, epoch: epoch, at: start}
+	if ck.persist != nil {
+		tok.seq = ck.seq.Add(1)
+	}
+	ck.last.Store(tok)
 	ck.taken.Add(1)
 	ck.ckptLat.Observe(lat)
 	d.rec.Record(d.actor, telemetry.EvCheckpoint, uint64(lat))
+	if ck.persist != nil {
+		// Still inside the fault guard: a panic in the codec or the store
+		// is a domain fault, but the RAM epoch above already stands — the
+		// restart restores it. A persist *error* is softer yet: the domain
+		// keeps serving, only durability lags (counted, never published).
+		d.persistEpoch(tok)
+	}
+	return nil
+}
+
+// persistEpoch encodes one published epoch and appends it to the policy
+// store, on the serving goroutine (the checkpoint already paid the
+// traversal; the append is the cheap half, and ordering per domain is
+// free on one goroutine).
+func (d *Domain[T]) persistEpoch(tok *ckptToken) {
+	ck := d.ck
+	start := time.Now()
+	payload, err := ck.codec.EncodeToken(tok.token)
+	if err == nil {
+		err = ck.persist.PersistEpoch(d.name, tok.seq, payload)
+	}
+	if err != nil {
+		ck.persistFailed.Add(1)
+		return
+	}
+	ck.persisted.Add(1)
+	ck.persistLat.Observe(time.Since(start))
+}
+
+// loadDurable seeds the checkpoint machinery from the store's newest
+// durable epoch at Spawn time: the decoded token becomes the domain's
+// last good checkpoint (so even a pre-traffic fault restores it), the
+// sequence continues where the dead process stopped, and under
+// RestoreCheckpoint the state is restored immediately — a process
+// restart with ≥1 durable epoch cold-starts nothing. Errors are Spawn
+// errors: a store that cannot be read or a token that cannot be decoded
+// is a misconfiguration, not a fault to retry through.
+func (d *Domain[T]) loadDurable() error {
+	ck := d.ck
+	payload, seq, ok, err := ck.persist.LastEpoch(d.name)
+	if err != nil {
+		return fmt.Errorf("domain %s: load durable epoch: %w", d.name, err)
+	}
+	if !ok {
+		return nil
+	}
+	token, err := ck.codec.DecodeToken(payload)
+	if err != nil {
+		return fmt.Errorf("domain %s: decode durable epoch %d: %w", d.name, seq, err)
+	}
+	ck.seq.Store(seq)
+	ck.last.Store(&ckptToken{token: token, seq: seq, at: time.Now()})
+	if ck.mode != RestoreCheckpoint {
+		return nil
+	}
+	start := time.Now()
+	if err := ck.state.Restore(token); err != nil {
+		return fmt.Errorf("domain %s: restore durable epoch %d: %w", d.name, seq, err)
+	}
+	lat := time.Since(start)
+	ck.restores.Add(1)
+	ck.restoreLat.Observe(lat)
+	d.rec.Record(d.actor, telemetry.EvRestore, uint64(lat))
 	return nil
 }
 
@@ -243,4 +411,9 @@ func (d *Domain[T]) registerCkptMetrics(reg telemetry.Registrar, labels telemetr
 	reg.RegisterCounter("domain_cold_starts_total", labels, &d.ck.coldStarts)
 	reg.RegisterHistogram("domain_checkpoint_seconds", labels, &d.ck.ckptLat)
 	reg.RegisterHistogram("domain_restore_seconds", labels, &d.ck.restoreLat)
+	if d.ck.persist != nil {
+		reg.RegisterCounter("domain_checkpoints_persisted_total", labels, &d.ck.persisted)
+		reg.RegisterCounter("domain_persist_failures_total", labels, &d.ck.persistFailed)
+		reg.RegisterHistogram("domain_persist_seconds", labels, &d.ck.persistLat)
+	}
 }

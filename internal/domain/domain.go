@@ -175,6 +175,11 @@ type Snapshot struct {
 	CheckpointFailures uint64
 	Restores           uint64
 	ColdStarts         uint64
+	// Durability counters (Policy.Persist): epochs made durable and
+	// encode/append failures (each failure leaves the RAM epoch standing,
+	// only durability lags). Zero when persistence is off.
+	Persisted       uint64
+	PersistFailures uint64
 	// Mailbox counters, plus instantaneous depth.
 	MailboxDepth int
 	MailboxSends uint64
@@ -270,6 +275,8 @@ func (d *Domain[T]) Snapshot() Snapshot {
 		sn.CheckpointFailures = ck.failed.Load()
 		sn.Restores = ck.restores.Load()
 		sn.ColdStarts = ck.coldStarts.Load()
+		sn.Persisted = ck.persisted.Load()
+		sn.PersistFailures = ck.persistFailed.Load()
 	}
 	return sn
 }

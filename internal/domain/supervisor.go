@@ -70,6 +70,13 @@ type Policy struct {
 	// RestoreCheckpoint (default) restores the last good snapshot,
 	// RestoreCold always resets to zero state (the ablation baseline).
 	Restore RestoreMode
+	// Persist, when non-nil alongside CheckpointEvery, makes epochs
+	// durable: every published checkpoint of a domain whose State
+	// implements TokenCodec is encoded and appended to the store, and
+	// Spawn seeds the domain from its newest durable epoch — so a
+	// process restart (kill -9 included) restores where a plain restart
+	// would have cold-started. Spawn fails if the State lacks a codec.
+	Persist Persister
 
 	// Registry, when non-nil, receives every spawned domain's counters
 	// and gauges (labeled {domain=<name>} on top of Labels), the
@@ -282,12 +289,28 @@ func Spawn[T any](s *Supervisor, cfg Config[T]) (*Domain[T], error) {
 			mode:   s.policy.Restore,
 		}
 		d.ck.lastAttempt.Store(time.Now().UnixNano())
+		if p := s.policy.Persist; p != nil {
+			codec, ok := cfg.State.(TokenCodec)
+			if !ok {
+				return nil, fmt.Errorf("domain %s: Policy.Persist requires the State to implement TokenCodec (%T does not)", cfg.Name, cfg.State)
+			}
+			d.ck.persist = p
+			d.ck.codec = codec
+		}
 	}
 	d.handler.Store(&handlerCell[T]{fn: cfg.Handler})
 	d.state.Store(int32(StateLive))
 	d.rec = s.policy.Recorder
 	d.actor = d.rec.Actor(cfg.Name)
 	d.inbox.Observe(d.rec, d.actor)
+	if d.ck != nil && d.ck.persist != nil {
+		// After the recorder is attached (loadDurable records EvRestore)
+		// and before the serving goroutine starts: the domain's first
+		// invocation already sees the restored state.
+		if err := d.loadDurable(); err != nil {
+			return nil, err
+		}
+	}
 	if s.policy.Registry != nil {
 		// One transaction for the domain's whole series group: a scrape
 		// racing the spawn sees the group entirely or not at all, never
@@ -539,6 +562,8 @@ func MergeSnapshots(name string, snaps []Snapshot) Snapshot {
 		agg.CheckpointFailures += sn.CheckpointFailures
 		agg.Restores += sn.Restores
 		agg.ColdStarts += sn.ColdStarts
+		agg.Persisted += sn.Persisted
+		agg.PersistFailures += sn.PersistFailures
 		agg.Degraded = agg.Degraded || sn.Degraded
 		agg.MailboxDepth += sn.MailboxDepth
 		agg.MailboxSends += sn.MailboxSends

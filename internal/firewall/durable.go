@@ -1,0 +1,150 @@
+package firewall
+
+// durable.go implements the domain runtime's TokenCodec for the
+// stateful firewall: a checkpoint token (engine snapshot of the rule
+// DB) serializes as the distinct shared rules plus, per trie prefix,
+// the indices of the handles attached there — so Figure 3a's aliasing
+// (one rule under many prefixes) survives the byte round trip exactly.
+// Decoding rebuilds the DB through AttachRule clones and re-checkpoints
+// it, yielding the *checkpoint.Snapshot Restore already accepts.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/packet"
+)
+
+const firewallTokenVersion = 1
+
+// walkedPrefix is one trie leaf: a prefix and the distinct-rule indices
+// of its handle list, in evaluation order.
+type walkedPrefix struct {
+	ip      packet.IPv4
+	length  uint8
+	handles []uint32
+}
+
+// flattenDB walks a DB into distinct rules (aliased handles counted
+// once, identity by shared box) and per-prefix index lists. The O(n²)
+// identity scan matches RuleCount; rule sets are configuration-sized.
+func flattenDB(db *DB) (rules []Rule, prefixes []walkedPrefix) {
+	var boxes []SharedRule
+	indexOf := func(h SharedRule) uint32 {
+		for i, b := range boxes {
+			if h.SameBox(b) {
+				return uint32(i)
+			}
+		}
+		boxes = append(boxes, h)
+		rules = append(rules, h.Get())
+		return uint32(len(boxes) - 1)
+	}
+	db.Rules.Walk(func(ip packet.IPv4, length int, v *[]SharedRule) bool {
+		p := walkedPrefix{ip: ip, length: uint8(length)}
+		for _, h := range *v {
+			p.handles = append(p.handles, indexOf(h))
+		}
+		prefixes = append(prefixes, p)
+		return true
+	})
+	return rules, prefixes
+}
+
+// EncodeToken implements domain.TokenCodec.
+func (s *Stateful) EncodeToken(token any) ([]byte, error) {
+	snap, ok := token.(*checkpoint.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("firewall: encode token is %T, want *checkpoint.Snapshot", token)
+	}
+	db, err := RestoreDB(snap)
+	if err != nil {
+		return nil, fmt.Errorf("firewall: encode: %w", err)
+	}
+	rules, prefixes := flattenDB(db)
+	buf := []byte{firewallTokenVersion, byte(db.Default)}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rules)))
+	for _, r := range rules {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(r.ID)))
+		buf = append(buf, byte(r.Action), r.Proto)
+		buf = binary.LittleEndian.AppendUint16(buf, r.DstPort)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Comment)))
+		buf = append(buf, r.Comment...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(prefixes)))
+	for _, p := range prefixes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.ip))
+		buf = append(buf, p.length)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.handles)))
+		for _, idx := range p.handles {
+			buf = binary.LittleEndian.AppendUint32(buf, idx)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeToken implements domain.TokenCodec.
+func (s *Stateful) DecodeToken(data []byte) (any, error) {
+	if len(data) < 6 || data[0] != firewallTokenVersion {
+		return nil, fmt.Errorf("firewall: bad token header")
+	}
+	db := NewDB(Action(data[1]))
+	nRules := int(binary.LittleEndian.Uint32(data[2:]))
+	data = data[6:]
+	handles := make([]SharedRule, nRules)
+	for i := 0; i < nRules; i++ {
+		if len(data) < 14 {
+			return nil, fmt.Errorf("firewall: token truncated at rule %d", i)
+		}
+		r := Rule{
+			ID:      int(int64(binary.LittleEndian.Uint64(data))),
+			Action:  Action(data[8]),
+			Proto:   data[9],
+			DstPort: binary.LittleEndian.Uint16(data[10:]),
+		}
+		commentLen := int(binary.LittleEndian.Uint16(data[12:]))
+		data = data[14:]
+		if len(data) < commentLen {
+			return nil, fmt.Errorf("firewall: token truncated at rule %d comment", i)
+		}
+		r.Comment = string(data[:commentLen])
+		data = data[commentLen:]
+		handles[i] = checkpoint.NewRc(r)
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("firewall: token truncated at prefix count")
+	}
+	nPrefixes := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < nPrefixes; i++ {
+		if len(data) < 7 {
+			return nil, fmt.Errorf("firewall: token truncated at prefix %d", i)
+		}
+		ip := packet.IPv4(binary.LittleEndian.Uint32(data))
+		length := int(data[4])
+		nHandles := int(binary.LittleEndian.Uint16(data[5:]))
+		data = data[7:]
+		if len(data) < nHandles*4 {
+			return nil, fmt.Errorf("firewall: token truncated at prefix %d handles", i)
+		}
+		for j := 0; j < nHandles; j++ {
+			idx := binary.LittleEndian.Uint32(data[j*4:])
+			if int(idx) >= nRules {
+				return nil, fmt.Errorf("firewall: prefix %d references rule %d of %d", i, idx, nRules)
+			}
+			if err := db.AttachRule(ip, length, handles[idx]); err != nil {
+				return nil, fmt.Errorf("firewall: decode: %w", err)
+			}
+		}
+		data = data[nHandles*4:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("firewall: token has %d trailing bytes", len(data))
+	}
+	snap, err := db.Checkpoint(checkpoint.NewEngine(checkpoint.RcAware))
+	if err != nil {
+		return nil, fmt.Errorf("firewall: decode: re-checkpoint: %w", err)
+	}
+	return snap, nil
+}

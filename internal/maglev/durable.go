@@ -1,0 +1,82 @@
+package maglev
+
+// durable.go implements the domain runtime's TokenCodec for the
+// balancer: the checkpointed connection table (flow hash → backend
+// stickiness) and hit/miss counters serialize to a flat little-endian
+// image. The lookup table is config, not state — it is rebuilt from the
+// backend set at boot, exactly as Restore leaves it untouched.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/packet"
+)
+
+const balancerTokenVersion = 1
+
+// EncodeToken implements domain.TokenCodec.
+func (b *Balancer) EncodeToken(token any) ([]byte, error) {
+	snap, ok := token.(*checkpoint.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("maglev: encode token is %T, want *checkpoint.Snapshot", token)
+	}
+	v, err := snap.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("maglev: encode: materialize: %w", err)
+	}
+	st, ok := v.(*BalancerState)
+	if !ok {
+		return nil, fmt.Errorf("maglev: snapshot holds %T, want *BalancerState", v)
+	}
+	buf := make([]byte, 0, 1+8+8+4+len(st.Conns)*24)
+	buf = append(buf, balancerTokenVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Hits)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Misses)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Conns)))
+	for h, be := range st.Conns {
+		buf = binary.LittleEndian.AppendUint64(buf, h)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(be.IP))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(be.Name)))
+		buf = append(buf, be.Name...)
+	}
+	return buf, nil
+}
+
+// DecodeToken implements domain.TokenCodec: rebuild the state and
+// re-checkpoint it, yielding the *checkpoint.Snapshot Restore expects.
+func (b *Balancer) DecodeToken(data []byte) (any, error) {
+	if len(data) < 1+8+8+4 || data[0] != balancerTokenVersion {
+		return nil, fmt.Errorf("maglev: bad token header")
+	}
+	st := &BalancerState{
+		Hits:   binary.LittleEndian.Uint64(data[1:]),
+		Misses: binary.LittleEndian.Uint64(data[9:]),
+	}
+	n := int(binary.LittleEndian.Uint32(data[17:]))
+	data = data[21:]
+	st.Conns = make(map[uint64]Backend, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 14 {
+			return nil, fmt.Errorf("maglev: token truncated at conn %d", i)
+		}
+		h := binary.LittleEndian.Uint64(data)
+		ip := packet.IPv4(binary.LittleEndian.Uint32(data[8:]))
+		nameLen := int(binary.LittleEndian.Uint16(data[12:]))
+		data = data[14:]
+		if len(data) < nameLen {
+			return nil, fmt.Errorf("maglev: token truncated at conn %d name", i)
+		}
+		st.Conns[h] = Backend{Name: string(data[:nameLen]), IP: ip}
+		data = data[nameLen:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("maglev: token has %d trailing bytes", len(data))
+	}
+	snap, err := checkpoint.NewEngine(checkpoint.RcAware).Checkpoint(st)
+	if err != nil {
+		return nil, fmt.Errorf("maglev: decode: re-checkpoint: %w", err)
+	}
+	return snap, nil
+}

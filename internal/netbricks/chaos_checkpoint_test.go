@@ -32,6 +32,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/session"
 	"repro/internal/sfi"
+	"repro/internal/statestore"
 )
 
 // ckptChaosBackends is the balancer config shared by every worker and
@@ -133,19 +134,24 @@ func entriesEqual(got, want map[uint64]packet.IPv4) (bool, string) {
 	return false, fmt.Sprintf("%d/%d flows missing, %d extra, %d wrong backend", missing, len(want), extra, wrong)
 }
 
-// TestChaosSupervisedPipelineCheckpointed is the stateful-recovery
-// chaos acceptance run (name keeps it inside the test-e2e tier's
-// TestChaosSupervisedPipeline regex).
-func TestChaosSupervisedPipelineCheckpointed(t *testing.T) {
-	if testing.Short() {
-		t.Skip("loopback chaos tier skipped in -short")
-	}
+// ckptChaosResult is what a checkpointed chaos run hands back for
+// variant-specific assertions.
+type ckptChaosResult struct {
+	sup    domain.Snapshot   // final merged supervisor ledger
+	doms   []domain.Snapshot // per-worker snapshots after phase-2 convergence
+	oracle map[uint64]packet.IPv4
+}
+
+// runCheckpointedChaos is the shared body of the checkpointed chaos
+// tiers: a supervised 4-worker pipeline under phased traffic and fault
+// injection, with per-worker NF state checkpointed every few
+// milliseconds — and, when persist is non-nil, every completed epoch
+// made durable through it.
+func runCheckpointedChaos(t *testing.T, minFaults, phase2Min uint64, persist domain.Persister) ckptChaosResult {
 	const (
 		workers   = 4
 		batchSize = 8
 		flowsPer  = 64
-		minFaults = 5000 // total injected-fault floor (the ISSUE acceptance)
-		phase2Min = 300  // fault floor with set A traffic stopped
 	)
 
 	port, err := netport.Open(netport.Config{
@@ -221,6 +227,7 @@ func TestChaosSupervisedPipelineCheckpointed(t *testing.T) {
 			HangAfter:       2 * time.Millisecond,
 			Tick:            time.Millisecond,
 			CheckpointEvery: 5 * time.Millisecond,
+			Persist:         persist,
 		},
 	}
 
@@ -353,6 +360,21 @@ func TestChaosSupervisedPipelineCheckpointed(t *testing.T) {
 		ok, _ := entriesEqual(unionEntries(t, tables), oracle)
 		return ok
 	})
+	// With persistence on, every worker must take (and persist) one more
+	// epoch after final convergence, so the newest durable epoch holds
+	// each worker's complete converged share.
+	if persist != nil {
+		base := perWorkerCkpts()
+		waitUntil("two post-convergence epochs per worker", 10*time.Second, func() bool {
+			for i, c := range perWorkerCkpts() {
+				if c < base[i]+2 {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	doms := r.DomainSnapshots()
 
 	// Wind down: stop the last generator, let the workers idle out.
 	close(stopB)
@@ -378,9 +400,9 @@ func TestChaosSupervisedPipelineCheckpointed(t *testing.T) {
 		t.Fatalf("final session tables diverge from the fault-free oracle: %s", diff)
 	}
 	faults := sn.Errors + sn.Crashes + sn.Hangs
-	t.Logf("checkpointed chaos: faults=%d (errors=%d crashes=%d hangs=%d) restarts=%d checkpoints=%d (failed=%d) restores=%d coldstarts=%d flows=%d",
+	t.Logf("checkpointed chaos: faults=%d (errors=%d crashes=%d hangs=%d) restarts=%d checkpoints=%d (failed=%d) restores=%d coldstarts=%d persisted=%d flows=%d",
 		faults, sn.Errors, sn.Crashes, sn.Hangs, sn.Restarts,
-		sn.Checkpoints, sn.CheckpointFailures, sn.Restores, sn.ColdStarts, len(got))
+		sn.Checkpoints, sn.CheckpointFailures, sn.Restores, sn.ColdStarts, sn.Persisted, len(got))
 	if faults < minFaults {
 		t.Fatalf("run produced %d faults, want >= %d", faults, minFaults)
 	}
@@ -397,4 +419,86 @@ func TestChaosSupervisedPipelineCheckpointed(t *testing.T) {
 	if v := violations.Load(); v != 0 {
 		t.Fatalf("%d invocations reached retired operator instances (stale-generation sfi refusal missing)", v)
 	}
+	return ckptChaosResult{sup: sn, doms: doms, oracle: oracle}
+}
+
+// TestChaosSupervisedPipelineCheckpointed is the stateful-recovery
+// chaos acceptance run (name keeps it inside the test-e2e tier's
+// TestChaosSupervisedPipeline regex).
+func TestChaosSupervisedPipelineCheckpointed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback chaos tier skipped in -short")
+	}
+	// 5000-fault floor: the ISSUE acceptance for the RAM-only tier.
+	runCheckpointedChaos(t, 5000, 300, nil)
+}
+
+// TestChaosSupervisedPipelineCheckpointedDurable is the same run with
+// every checkpoint epoch persisted to an on-disk statestore, plus a
+// post-mortem: reopen the store cold and prove each worker's newest
+// durable epoch decodes and restores to its exact converged share.
+func TestChaosSupervisedPipelineCheckpointedDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback chaos tier skipped in -short")
+	}
+	dir := t.TempDir()
+	store, err := statestore.Open(statestore.Config{Dir: dir, Fsync: statestore.FsyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runCheckpointedChaos(t, 1500, 150, store)
+	if res.sup.Persisted == 0 {
+		t.Fatal("no epochs persisted")
+	}
+	if res.sup.PersistFailures != 0 {
+		t.Fatalf("%d persist failures during the chaos run", res.sup.PersistFailures)
+	}
+	for _, sn := range res.doms {
+		if sn.Persisted == 0 {
+			t.Fatalf("%s persisted no epochs", sn.Name)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-mortem rehydration: a cold reopen of the state directory must
+	// hold, for every worker, a decodable newest epoch whose session
+	// share matches the oracle — the on-disk artifact alone reconstructs
+	// the fleet's converged state.
+	store2, err := statestore.Open(statestore.Config{Dir: dir, Fsync: statestore.FsyncGroup})
+	if err != nil {
+		t.Fatalf("cold reopen: %v", err)
+	}
+	defer store2.Close()
+	restored := make(map[uint64]packet.IPv4)
+	for _, sn := range res.doms {
+		payload, seq, ok, err := store2.LastEpoch(sn.Name)
+		if err != nil || !ok {
+			t.Fatalf("%s: no durable epoch after run (seq=%d, err=%v)", sn.Name, seq, err)
+		}
+		lb, err := maglev.NewBalancer(ckptChaosBackends(), maglev.DefaultTableSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := session.NewTable()
+		set := domain.NewStateSet().Add("maglev", lb).Add("session", tbl)
+		token, err := set.DecodeToken(payload)
+		if err != nil {
+			t.Fatalf("%s: decode durable epoch seq %d: %v", sn.Name, seq, err)
+		}
+		if err := set.Restore(token); err != nil {
+			t.Fatalf("%s: restore durable epoch: %v", sn.Name, err)
+		}
+		for h, ip := range tbl.Entries() {
+			if prev, ok := restored[h]; ok && prev != ip {
+				t.Fatalf("flow %#x restored with backend %v and %v", h, prev, ip)
+			}
+			restored[h] = ip
+		}
+	}
+	if ok, diff := entriesEqual(restored, res.oracle); !ok {
+		t.Fatalf("rehydrated durable epochs diverge from the oracle: %s", diff)
+	}
+	t.Logf("durable chaos: %d epochs persisted, rehydrated %d flows exactly from disk", res.sup.Persisted, len(restored))
 }

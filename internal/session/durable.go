@@ -1,0 +1,111 @@
+package session
+
+// durable.go implements the domain runtime's TokenCodec for the table:
+// checkpoint tokens (engine snapshots of the flow graph) serialize to a
+// flat little-endian image and decode back into a *checkpoint.Snapshot
+// — so Restore sees exactly the token shape it already handles, and the
+// decoded token is reusable across repeated restores like any other
+// epoch. Decoding interns one Rc box per distinct backend, preserving
+// the Figure 3a aliasing the checkpoint engine works over.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/packet"
+)
+
+// tokenVersion guards the session token wire format.
+const sessionTokenVersion = 1
+
+// Per-flow wire entry: u64 hash, u32 src, u32 dst, u16 sport, u16
+// dport, u8 proto, u8 spilled, u32 backend, u64 packets, u64 bytes.
+const sessionEntrySize = 8 + 4 + 4 + 2 + 2 + 1 + 1 + 4 + 8 + 8
+
+// EncodeToken implements domain.TokenCodec: serialize a Checkpoint
+// token. The snapshot is materialized into a private image first, so
+// encoding never touches live state.
+func (t *Table) EncodeToken(token any) ([]byte, error) {
+	snap, ok := token.(*checkpoint.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("session: encode token is %T, want *checkpoint.Snapshot", token)
+	}
+	v, err := snap.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("session: encode: materialize: %w", err)
+	}
+	img, ok := v.(*tableImage)
+	if !ok {
+		return nil, fmt.Errorf("session: snapshot holds %T, want *tableImage", v)
+	}
+	buf := make([]byte, 0, 1+4+len(img.Flows)*sessionEntrySize)
+	buf = append(buf, sessionTokenVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(img.Flows)))
+	for h, f := range img.Flows {
+		var ip packet.IPv4
+		if !f.Backend.IsZero() {
+			ip = f.Backend.Get().IP
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, h)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Tuple.SrcIP))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Tuple.DstIP))
+		buf = binary.LittleEndian.AppendUint16(buf, f.Tuple.SrcPort)
+		buf = binary.LittleEndian.AppendUint16(buf, f.Tuple.DstPort)
+		buf = append(buf, f.Tuple.Proto)
+		var spilled byte
+		if f.Spilled {
+			spilled = 1
+		}
+		buf = append(buf, spilled)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ip))
+		buf = binary.LittleEndian.AppendUint64(buf, f.Packets)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Bytes)
+	}
+	return buf, nil
+}
+
+// DecodeToken implements domain.TokenCodec: rebuild the flow image
+// (re-interning shared backend boxes) and re-checkpoint it with an
+// RcAware engine, yielding a token Restore accepts unchanged.
+func (t *Table) DecodeToken(data []byte) (any, error) {
+	if len(data) < 5 || data[0] != sessionTokenVersion {
+		return nil, fmt.Errorf("session: bad token header")
+	}
+	n := int(binary.LittleEndian.Uint32(data[1:]))
+	data = data[5:]
+	if len(data) != n*sessionEntrySize {
+		return nil, fmt.Errorf("session: token has %d bytes, want %d for %d flows", len(data), n*sessionEntrySize, n)
+	}
+	img := &tableImage{Flows: make(map[uint64]*Flow, n)}
+	intern := make(map[packet.IPv4]checkpoint.Rc[Backend])
+	for i := 0; i < n; i++ {
+		e := data[i*sessionEntrySize:]
+		h := binary.LittleEndian.Uint64(e)
+		f := &Flow{
+			Tuple: packet.FiveTuple{
+				SrcIP:   packet.IPv4(binary.LittleEndian.Uint32(e[8:])),
+				DstIP:   packet.IPv4(binary.LittleEndian.Uint32(e[12:])),
+				SrcPort: binary.LittleEndian.Uint16(e[16:]),
+				DstPort: binary.LittleEndian.Uint16(e[18:]),
+				Proto:   e[20],
+			},
+			Spilled: e[21] == 1,
+			Packets: binary.LittleEndian.Uint64(e[26:]),
+			Bytes:   binary.LittleEndian.Uint64(e[34:]),
+		}
+		ip := packet.IPv4(binary.LittleEndian.Uint32(e[22:]))
+		rc, ok := intern[ip]
+		if !ok {
+			rc = checkpoint.NewRc(Backend{IP: ip})
+			intern[ip] = rc
+		}
+		f.Backend = rc.Clone()
+		img.Flows[h] = f
+	}
+	snap, err := checkpoint.NewEngine(checkpoint.RcAware).Checkpoint(img)
+	if err != nil {
+		return nil, fmt.Errorf("session: decode: re-checkpoint: %w", err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,176 @@
+package session
+
+// spill.go turns the RAM session table into a cache over a durable flow
+// set. A Table with a Spill attached evicts cold flows to an on-disk
+// index when it grows past its cap and promotes them back on their next
+// packet, so the tracked flow population is bounded by disk, not memory
+// — the ROADMAP's million-flow direction. The interface is defined here
+// (not in statestore) so the session package stays storage-agnostic;
+// statestore.FlowIndex implements it structurally.
+
+import (
+	"repro/internal/packet"
+)
+
+// SpillRecord is the fixed-shape durable image of one flow: its
+// restorable identity (hash, tuple, backend) plus the soft counters.
+type SpillRecord struct {
+	Hash    uint64
+	Tuple   packet.FiveTuple
+	Backend packet.IPv4
+	Packets uint64
+	Bytes   uint64
+}
+
+// Spill is the on-disk flow index contract. Implementations must be
+// safe for concurrent use; the table calls them under its own lock.
+type Spill interface {
+	// SpillFlows durably records a batch of evicted flows (upsert by
+	// Hash). An error leaves the batch untracked on disk; the table
+	// keeps the flows in RAM.
+	SpillFlows(recs []SpillRecord) error
+	// LookupFlow returns the spilled record for a flow hash, if any.
+	LookupFlow(hash uint64) (SpillRecord, bool, error)
+	// FlowCount reports the number of distinct flows in the index.
+	FlowCount() (int, error)
+}
+
+// SetSpill attaches a spill index and a RAM cap. When the table grows
+// past maxFlows, Track evicts a batch of flows (down to ~7/8 of the
+// cap, amortizing the spill write) into the index; a tracked packet for
+// an evicted flow promotes it back with its counters intact. maxFlows
+// <= 0 leaves the RAM table unbounded — the index then only serves
+// lookups for flows spilled earlier (e.g. by a previous process).
+func (t *Table) SetSpill(s Spill, maxFlows int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spill = s
+	t.maxFlows = maxFlows
+}
+
+// SpillStats reports flows evicted to the index, flows promoted back,
+// and spill I/O errors (each error leaves the table correct but over
+// its RAM cap).
+func (t *Table) SpillStats() (spilled, promoted, errs uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spilled, t.promoted, t.spillErrs
+}
+
+// promoteLocked pulls an evicted flow back into RAM on a miss. The
+// promoted flow keeps its durable backend and counters and is marked
+// Spilled: the index still holds it, so total-count views must not
+// count it twice.
+func (t *Table) promoteLocked(h uint64) *Flow {
+	rec, ok, err := t.spill.LookupFlow(h)
+	if err != nil {
+		t.spillErrs++
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	f := &Flow{
+		Tuple:   rec.Tuple,
+		Backend: t.internLocked(rec.Backend).Clone(),
+		Packets: rec.Packets,
+		Bytes:   rec.Bytes,
+		Spilled: true,
+	}
+	t.flows[h] = f
+	t.promoted++
+	return f
+}
+
+// evictLocked spills surplus flows once the table exceeds its cap,
+// down to ~7/8 of maxFlows in one batch write. keep is the hash of the
+// flow just touched — never a victim. Victim choice is map iteration
+// order (effectively random); the paper's point is the durability
+// machinery, not an eviction policy — see ROADMAP for the LRU gap.
+func (t *Table) evictLocked(keep uint64) {
+	if t.spill == nil || t.maxFlows <= 0 || len(t.flows) <= t.maxFlows {
+		return
+	}
+	target := t.maxFlows - t.maxFlows/8
+	if target < 1 {
+		target = 1
+	}
+	victims := make([]uint64, 0, len(t.flows)-target)
+	recs := make([]SpillRecord, 0, len(t.flows)-target)
+	for h, f := range t.flows {
+		if len(t.flows)-len(victims) <= target {
+			break
+		}
+		if h == keep {
+			continue
+		}
+		victims = append(victims, h)
+		recs = append(recs, SpillRecord{
+			Hash:    h,
+			Tuple:   f.Tuple,
+			Backend: f.Backend.Get().IP,
+			Packets: f.Packets,
+			Bytes:   f.Bytes,
+		})
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if err := t.spill.SpillFlows(recs); err != nil {
+		// The batch may not be durable: keep the flows in RAM (the table
+		// runs over its cap — degraded, never wrong) and count it.
+		t.spillErrs++
+		return
+	}
+	for _, h := range victims {
+		delete(t.flows, h)
+	}
+	t.spilled += uint64(len(recs))
+}
+
+// Lookup resolves a flow hash to its backend, reading through the RAM
+// table into the spill index without promoting — the read-only view
+// recovery tests and operational tooling use.
+func (t *Table) Lookup(h uint64) (packet.IPv4, bool) {
+	t.mu.Lock()
+	if f, ok := t.flows[h]; ok {
+		ip := f.Backend.Get().IP
+		t.mu.Unlock()
+		return ip, true
+	}
+	sp := t.spill
+	t.mu.Unlock()
+	if sp == nil {
+		return 0, false
+	}
+	rec, ok, err := sp.LookupFlow(h)
+	if err != nil || !ok {
+		return 0, false
+	}
+	return rec.Backend, true
+}
+
+// TotalFlows reports the distinct flow population across RAM and the
+// spill index: index flows plus RAM flows the index has never seen
+// (promoted flows stay counted on the index side). Soft after a crash:
+// flows tracked after the last durable epoch and never evicted are
+// RAM-only and die with the process.
+func (t *Table) TotalFlows() (int, error) {
+	t.mu.Lock()
+	ramOnly := 0
+	for _, f := range t.flows {
+		if !f.Spilled {
+			ramOnly++
+		}
+	}
+	sp := t.spill
+	t.mu.Unlock()
+	if sp == nil {
+		return ramOnly, nil
+	}
+	n, err := sp.FlowCount()
+	if err != nil {
+		return ramOnly, err
+	}
+	return ramOnly + n, nil
+}

@@ -27,12 +27,15 @@ type Backend struct {
 
 // Flow is one tracked five-tuple and its shared backend handle, plus
 // soft byte/packet counters (deltas since the last checkpoint are lost
-// across a fault; flow identity is not).
+// across a fault; flow identity is not). Spilled marks a flow the spill
+// index also holds (it was evicted and promoted back), so population
+// counts across RAM and disk count it once.
 type Flow struct {
 	Tuple   packet.FiveTuple
 	Backend checkpoint.Rc[Backend]
 	Packets uint64
 	Bytes   uint64
+	Spilled bool
 }
 
 // tableImage is the checkpointed shape of a Table: just the flow graph.
@@ -50,6 +53,14 @@ type Table struct {
 	mu     sync.Mutex
 	flows  map[uint64]*Flow
 	intern map[packet.IPv4]checkpoint.Rc[Backend]
+
+	// Spill state (see spill.go): when spill is non-nil the RAM table is
+	// a cache over the on-disk flow index, capped at maxFlows.
+	spill     Spill
+	maxFlows  int
+	spilled   uint64
+	promoted  uint64
+	spillErrs uint64
 }
 
 // NewTable creates an empty session table.
@@ -60,25 +71,37 @@ func NewTable() *Table {
 	}
 }
 
+// internLocked returns the shared Rc box for a backend IP, creating it
+// on first sight. Callers hold t.mu.
+func (t *Table) internLocked(ip packet.IPv4) checkpoint.Rc[Backend] {
+	rc, interned := t.intern[ip]
+	if !interned {
+		rc = checkpoint.NewRc(Backend{IP: ip})
+		t.intern[ip] = rc
+	}
+	return rc
+}
+
 // Track records one packet of flow tu steered to backend ip. New flows
 // clone the interned backend handle (bumping its strong count); known
-// flows just bump counters.
+// flows just bump counters. With a spill index attached, a RAM miss
+// first tries to promote the flow's evicted record (its backend and
+// counters survive), and growth past the cap evicts a batch to disk.
 func (t *Table) Track(tu packet.FiveTuple, ip packet.IPv4, nbytes int) {
 	h := tu.Hash()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	f, ok := t.flows[h]
-	if !ok {
-		rc, interned := t.intern[ip]
-		if !interned {
-			rc = checkpoint.NewRc(Backend{IP: ip})
-			t.intern[ip] = rc
-		}
-		f = &Flow{Tuple: tu, Backend: rc.Clone()}
+	if !ok && t.spill != nil {
+		f = t.promoteLocked(h)
+	}
+	if f == nil {
+		f = &Flow{Tuple: tu, Backend: t.internLocked(ip).Clone()}
 		t.flows[h] = f
 	}
 	f.Packets++
 	f.Bytes += uint64(nbytes)
+	t.evictLocked(h)
 }
 
 // Len reports the number of tracked flows.

@@ -1,0 +1,153 @@
+package statestore_test
+
+// Checkpoint-to-disk cost: how much a durable epoch adds over the pure
+// in-memory checkpoint it wraps. BenchmarkCheckpointEpochDisk measures
+// its own in-memory baseline before the timed region and reports the
+// ratio as "x-ram", which bench-gate holds under a ceiling — the WAL
+// must stay a bounded multiplier on the RAM path, not a cliff.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/packet"
+	"repro/internal/session"
+	"repro/internal/statestore"
+)
+
+const benchFlows = 4096
+
+func benchTable(b *testing.B) *session.Table {
+	b.Helper()
+	tbl := session.NewTable()
+	for i := 0; i < benchFlows; i++ {
+		tu := packet.FiveTuple{
+			SrcIP:   packet.IPv4(0x0a000000 + uint32(i)),
+			DstIP:   0x0a630001,
+			SrcPort: uint16(1024 + i%50000),
+			DstPort: 80,
+			Proto:   17,
+		}
+		tbl.Track(tu, packet.IPv4(0xc0a80001+uint32(i%8)), 100)
+	}
+	return tbl
+}
+
+// ramEpoch is the in-memory epoch: snapshot + token encode, nothing
+// touching disk. Encoding is included on both sides so the ratio
+// isolates the WAL append + group fsync.
+func ramEpoch(b *testing.B, tbl *session.Table, engine *checkpoint.Engine) []byte {
+	b.Helper()
+	snap, err := tbl.Checkpoint(engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, err := tbl.EncodeToken(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return payload
+}
+
+func BenchmarkCheckpointEpochRAM(b *testing.B) {
+	tbl := benchTable(b)
+	engine := checkpoint.NewEngine(checkpoint.RcAware)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ramEpoch(b, tbl, engine)
+	}
+}
+
+func BenchmarkCheckpointEpochDisk(b *testing.B)       { benchEpochDisk(b, statestore.FsyncGroup) }
+func BenchmarkCheckpointEpochDiskAlways(b *testing.B) { benchEpochDisk(b, statestore.FsyncAlways) }
+
+func benchEpochDisk(b *testing.B, mode statestore.FsyncMode) {
+	tbl := benchTable(b)
+	engine := checkpoint.NewEngine(checkpoint.RcAware)
+	store, err := statestore.Open(statestore.Config{Dir: b.TempDir(), Fsync: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+
+	// In-process baseline: the same epochs without the store.
+	const baselineIters = 32
+	start := time.Now()
+	for i := 0; i < baselineIters; i++ {
+		ramEpoch(b, tbl, engine)
+	}
+	ramPerOp := time.Since(start) / baselineIters
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload := ramEpoch(b, tbl, engine)
+		if err := store.PersistEpoch("bench", uint64(i+1), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	diskPerOp := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(diskPerOp)/float64(ramPerOp), "x-ram")
+}
+
+func BenchmarkFlowIndexSpill(b *testing.B) {
+	store, err := statestore.Open(statestore.Config{Dir: b.TempDir(), Fsync: statestore.FsyncGroup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	ix, err := store.FlowIndex("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 512
+	recs := make([]session.SpillRecord, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			h := uint64(i)*batch + uint64(j)
+			recs[j] = session.SpillRecord{Hash: h, Backend: 0xc0a80001, Packets: 1, Bytes: 100}
+		}
+		if err := ix.SpillFlows(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "flows/s")
+}
+
+func BenchmarkFlowIndexLookup(b *testing.B) {
+	store, err := statestore.Open(statestore.Config{Dir: b.TempDir(), Fsync: statestore.FsyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	ix, err := store.FlowIndex("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const flows = 1 << 16
+	recs := make([]session.SpillRecord, flows)
+	for i := range recs {
+		recs[i] = session.SpillRecord{Hash: uint64(i)*2654435761 + 1, Backend: 0xc0a80001}
+	}
+	if err := ix.SpillFlows(recs); err != nil {
+		b.Fatal(err)
+	}
+	if err := ix.Compact(); err != nil { // lookups hit the sorted index, not the overlay
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := recs[i%flows].Hash
+		if _, ok, err := ix.LookupFlow(h); err != nil || !ok {
+			b.Fatal(fmt.Errorf("lookup %x: ok=%v err=%v", h, ok, err))
+		}
+	}
+}

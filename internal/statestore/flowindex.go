@@ -1,0 +1,329 @@
+package statestore
+
+// flowindex.go is the on-disk half of the session table's cache story:
+// a per-domain flow index holding every flow ever evicted from RAM.
+// Writes append framed batches to <name>.flog (same framing and
+// torn-tail recovery as the epoch WAL); compaction merges the log into
+// <name>.fidx, a flat array of fixed-size entries sorted by flow hash
+// that lookups binary-search with ReadAt — no resident copy of the full
+// flow set. Recent puts live in a RAM overlay until the next compaction,
+// so reads are overlay-then-index.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/session"
+)
+
+// flowEntrySize is the fixed on-disk entry: u64 hash, 13-byte tuple
+// (src, dst, sport, dport, proto), u32 backend, u64 packets, u64 bytes.
+const flowEntrySize = 8 + 13 + 4 + 8 + 8
+
+func encodeFlowEntry(buf []byte, r session.SpillRecord) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, r.Hash)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Tuple.SrcIP))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Tuple.DstIP))
+	buf = binary.LittleEndian.AppendUint16(buf, r.Tuple.SrcPort)
+	buf = binary.LittleEndian.AppendUint16(buf, r.Tuple.DstPort)
+	buf = append(buf, r.Tuple.Proto)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Backend))
+	buf = binary.LittleEndian.AppendUint64(buf, r.Packets)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Bytes)
+	return buf
+}
+
+func decodeFlowEntry(b []byte) session.SpillRecord {
+	return session.SpillRecord{
+		Hash: binary.LittleEndian.Uint64(b),
+		Tuple: packet.FiveTuple{
+			SrcIP:   packet.IPv4(binary.LittleEndian.Uint32(b[8:])),
+			DstIP:   packet.IPv4(binary.LittleEndian.Uint32(b[12:])),
+			SrcPort: binary.LittleEndian.Uint16(b[16:]),
+			DstPort: binary.LittleEndian.Uint16(b[18:]),
+			Proto:   b[20],
+		},
+		Backend: packet.IPv4(binary.LittleEndian.Uint32(b[21:])),
+		Packets: binary.LittleEndian.Uint64(b[25:]),
+		Bytes:   binary.LittleEndian.Uint64(b[33:]),
+	}
+}
+
+// FlowIndex is one domain's durable flow set. It implements the session
+// package's Spill contract.
+type FlowIndex struct {
+	store *Store
+	name  string
+
+	mu       sync.Mutex
+	log      *os.File
+	logSize  int64
+	overlay  map[uint64]session.SpillRecord
+	idx      *os.File // nil until the first compaction
+	idxCount int
+}
+
+// FlowIndex opens (or creates) the named flow index inside the store,
+// replaying the valid prefix of its spill log into the overlay. One
+// instance per name is cached for the store's lifetime.
+func (s *Store) FlowIndex(name string) (*FlowIndex, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("statestore: bad flow index name %q", name)
+	}
+	s.flowMu.Lock()
+	defer s.flowMu.Unlock()
+	if fi, ok := s.flows[name]; ok {
+		return fi, nil
+	}
+	fi := &FlowIndex{store: s, name: name, overlay: make(map[uint64]session.SpillRecord)}
+	if err := fi.open(); err != nil {
+		return nil, err
+	}
+	s.flows[name] = fi
+	return fi, nil
+}
+
+func (fi *FlowIndex) logPath() string {
+	return filepath.Join(fi.store.cfg.Dir, fi.name+".flog")
+}
+
+func (fi *FlowIndex) idxPath() string {
+	return filepath.Join(fi.store.cfg.Dir, fi.name+".fidx")
+}
+
+func (fi *FlowIndex) open() error {
+	// Replay the spill log's longest valid prefix and truncate the tail,
+	// exactly like the epoch WAL.
+	data, err := os.ReadFile(fi.logPath())
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	recs, n := SplitFrames(data)
+	for _, batch := range recs {
+		if len(batch)%flowEntrySize != 0 {
+			fi.store.badEpochs.Add(1)
+			continue
+		}
+		for off := 0; off < len(batch); off += flowEntrySize {
+			r := decodeFlowEntry(batch[off : off+flowEntrySize])
+			fi.overlay[r.Hash] = r
+		}
+	}
+	if n < len(data) {
+		fi.store.tornRecords.Add(uint64(len(data) - n))
+		if err := os.Truncate(fi.logPath(), int64(n)); err != nil {
+			return fmt.Errorf("statestore: truncate torn spill tail: %w", err)
+		}
+	}
+	log, err := os.OpenFile(fi.logPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	fi.log = log
+	fi.logSize = int64(n)
+	// The compacted index, if one exists. A torn size (not a multiple of
+	// the entry width) cannot happen through the rename barrier; treat it
+	// as absent rather than guessing.
+	idx, err := os.Open(fi.idxPath())
+	if err == nil {
+		st, serr := idx.Stat()
+		if serr == nil && st.Size()%flowEntrySize == 0 {
+			fi.idx = idx
+			fi.idxCount = int(st.Size() / flowEntrySize)
+		} else {
+			idx.Close()
+		}
+	} else if !os.IsNotExist(err) {
+		fi.log.Close()
+		return fmt.Errorf("statestore: %w", err)
+	}
+	return nil
+}
+
+// SpillFlows appends a batch of evicted flows (upsert by hash) and makes
+// it durable per the store's fsync mode. Implements session.Spill.
+func (fi *FlowIndex) SpillFlows(recs []session.SpillRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if fi.store.closed.Load() {
+		return ErrClosed
+	}
+	payload := make([]byte, 0, len(recs)*flowEntrySize)
+	for _, r := range recs {
+		payload = encodeFlowEntry(payload, r)
+	}
+	frame := AppendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if _, err := fi.log.Write(frame); err != nil {
+		return fmt.Errorf("statestore: spill %s: %w", fi.name, err)
+	}
+	fi.logSize += int64(len(frame))
+	for _, r := range recs {
+		fi.overlay[r.Hash] = r
+	}
+	fi.store.spilled.Add(uint64(len(recs)))
+	fi.store.persistBytes.Add(uint64(len(payload)))
+	if after := fi.store.cfg.FlowCompactAfter; after > 0 && len(fi.overlay) >= after {
+		return fi.compactLocked()
+	}
+	if fi.store.cfg.Fsync != FsyncNone {
+		// One fsync per eviction batch — already amortized over the
+		// batch, so group coalescing buys nothing here.
+		if err := fi.log.Sync(); err != nil {
+			return fmt.Errorf("statestore: spill %s: %w", fi.name, err)
+		}
+		fi.store.fsyncs.Add(1)
+	}
+	return nil
+}
+
+// LookupFlow reads one flow record: overlay first, then a binary search
+// over the sorted on-disk index. Implements session.Spill.
+func (fi *FlowIndex) LookupFlow(hash uint64) (session.SpillRecord, bool, error) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if r, ok := fi.overlay[hash]; ok {
+		fi.store.promotions.Add(1)
+		return r, true, nil
+	}
+	r, ok, err := fi.searchIdxLocked(hash)
+	if ok {
+		fi.store.promotions.Add(1)
+	}
+	return r, ok, err
+}
+
+// searchIdxLocked binary-searches the compacted index file by hash.
+func (fi *FlowIndex) searchIdxLocked(hash uint64) (session.SpillRecord, bool, error) {
+	if fi.idx == nil || fi.idxCount == 0 {
+		return session.SpillRecord{}, false, nil
+	}
+	var buf [flowEntrySize]byte
+	lo, hi := 0, fi.idxCount
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, err := fi.idx.ReadAt(buf[:], int64(mid)*flowEntrySize); err != nil {
+			return session.SpillRecord{}, false, fmt.Errorf("statestore: index %s: %w", fi.name, err)
+		}
+		h := binary.LittleEndian.Uint64(buf[:])
+		switch {
+		case h == hash:
+			return decodeFlowEntry(buf[:]), true, nil
+		case h < hash:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return session.SpillRecord{}, false, nil
+}
+
+// FlowCount reports the number of distinct flows in the index. It
+// compacts first when the overlay is non-empty, so the answer is exact
+// (and the call is cheap when nothing changed). Implements session.Spill.
+func (fi *FlowIndex) FlowCount() (int, error) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if len(fi.overlay) > 0 {
+		if err := fi.compactLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return fi.idxCount, nil
+}
+
+// Compact merges the overlay into the sorted index file and truncates
+// the spill log.
+func (fi *FlowIndex) Compact() error {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.compactLocked()
+}
+
+func (fi *FlowIndex) compactLocked() error {
+	// Merge: current index entries, overridden/extended by the overlay.
+	merged := make([]session.SpillRecord, 0, fi.idxCount+len(fi.overlay))
+	if fi.idx != nil && fi.idxCount > 0 {
+		old := make([]byte, fi.idxCount*flowEntrySize)
+		if _, err := fi.idx.ReadAt(old, 0); err != nil {
+			return fmt.Errorf("statestore: compact %s: %w", fi.name, err)
+		}
+		for off := 0; off < len(old); off += flowEntrySize {
+			r := decodeFlowEntry(old[off : off+flowEntrySize])
+			if _, shadowed := fi.overlay[r.Hash]; !shadowed {
+				merged = append(merged, r)
+			}
+		}
+	}
+	for _, r := range fi.overlay {
+		merged = append(merged, r)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Hash < merged[j].Hash })
+	buf := make([]byte, 0, len(merged)*flowEntrySize)
+	for _, r := range merged {
+		buf = encodeFlowEntry(buf, r)
+	}
+	if err := atomicWriteFile(fi.idxPath(), buf, fi.store.cfg.Fsync != FsyncNone); err != nil {
+		return fmt.Errorf("statestore: compact %s: %w", fi.name, err)
+	}
+	if fi.idx != nil {
+		fi.idx.Close()
+	}
+	idx, err := os.Open(fi.idxPath())
+	if err != nil {
+		return fmt.Errorf("statestore: compact %s: %w", fi.name, err)
+	}
+	fi.idx = idx
+	fi.idxCount = len(merged)
+	fi.overlay = make(map[uint64]session.SpillRecord)
+	if err := fi.log.Truncate(0); err != nil {
+		return fmt.Errorf("statestore: compact %s: truncate log: %w", fi.name, err)
+	}
+	fi.logSize = 0
+	fi.store.compactions.Add(1)
+	return nil
+}
+
+// OverlaySize reports uncompacted put entries (test introspection).
+func (fi *FlowIndex) OverlaySize() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return len(fi.overlay)
+}
+
+func (fi *FlowIndex) close() error {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	var first error
+	if fi.log != nil {
+		if fi.store.cfg.Fsync != FsyncNone {
+			if err := fi.log.Sync(); err != nil {
+				first = err
+			}
+		}
+		if err := fi.log.Close(); err != nil && first == nil {
+			first = err
+		}
+		fi.log = nil
+	}
+	if fi.idx != nil {
+		if err := fi.idx.Close(); err != nil && first == nil {
+			first = err
+		}
+		fi.idx = nil
+	}
+	return first
+}
+
+var _ session.Spill = (*FlowIndex)(nil)

@@ -1,0 +1,562 @@
+package statestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// FsyncMode selects the durability level of epoch and spill appends.
+type FsyncMode int
+
+const (
+	// FsyncGroup (the default) group-commits: every append requests a
+	// sync, but concurrent appenders coalesce onto one fsync — a worker
+	// whose record was covered by a sibling's in-flight sync returns
+	// without issuing its own. Durability per epoch, ~one fsync per
+	// batch of concurrent epochs.
+	FsyncGroup FsyncMode = iota
+	// FsyncAlways issues one fsync per append, under the append lock —
+	// strict ordering, maximum latency.
+	FsyncAlways
+	// FsyncNone never syncs; durability is whatever the kernel flushed.
+	// Crash recovery still works (longest valid prefix), it just may
+	// recover an older epoch.
+	FsyncNone
+)
+
+// String implements fmt.Stringer.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncGroup:
+		return "group"
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("FsyncMode(%d)", int(m))
+	}
+}
+
+// ParseFsyncMode parses the -fsync flag values.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "group":
+		return FsyncGroup, nil
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, fmt.Errorf("statestore: unknown fsync mode %q (want group, always, or none)", s)
+	}
+}
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the store directory; created if missing.
+	Dir string
+	// Fsync is the durability mode for epoch and spill appends.
+	Fsync FsyncMode
+	// CompactAfter is the WAL size (bytes) past which an append triggers
+	// inline compaction into base.db. Default 8 MiB; negative disables.
+	CompactAfter int64
+	// FlowCompactAfter is the per-index overlay entry count past which a
+	// spill batch triggers flow-index compaction. Default 8192; negative
+	// disables.
+	FlowCompactAfter int
+}
+
+// epochRec is the in-memory view of a domain's newest durable epoch.
+type epochRec struct {
+	seq   uint64
+	at    int64 // unix nanos, informational
+	token []byte
+}
+
+// Store is the durable epoch store: an append-only WAL of checkpoint
+// tokens plus a compacted base image, with per-domain flow indexes
+// hanging off it. One Store serves every domain of a process; appends
+// from concurrent workers serialize on mu and coalesce their fsyncs.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex // guards wal, walSize, epochs, compaction
+	wal     *os.File
+	walSize int64
+	epochs  map[string]epochRec
+
+	// Group commit: appended counts records written, synced the highest
+	// count known flushed. syncMu serializes the fsync itself.
+	appended atomic.Uint64
+	syncMu   sync.Mutex
+	synced   atomic.Uint64
+
+	flowMu sync.Mutex
+	flows  map[string]*FlowIndex
+
+	closed atomic.Bool
+
+	// Telemetry cells (registered via RegisterMetrics).
+	persisted    telemetry.Counter
+	persistBytes telemetry.Counter
+	fsyncs       telemetry.Counter
+	compactions  telemetry.Counter
+	tornRecords  telemetry.Counter
+	badEpochs    telemetry.Counter
+	spilled      telemetry.Counter
+	promotions   telemetry.Counter
+}
+
+// Stats is a point-in-time copy of the store's counters.
+type Stats struct {
+	Epochs       int    // domains with a durable epoch
+	Persisted    uint64 // epoch records appended by this process
+	PersistBytes uint64 // payload bytes appended (epochs + spills)
+	Fsyncs       uint64
+	Compactions  uint64
+	TornRecords  uint64 // torn-tail bytes truncated + undecodable records dropped at open
+	Spilled      uint64 // flow records spilled to indexes
+	Promotions   uint64 // flow records read back out of indexes
+	WALBytes     int64
+}
+
+const (
+	walName  = "wal.log"
+	baseName = "base.db"
+
+	defaultCompactAfter     = 8 << 20
+	defaultFlowCompactAfter = 8192
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("statestore: closed")
+
+// Open opens (or creates) the store rooted at cfg.Dir, replaying the
+// longest valid prefix of the WAL over the compacted base image and
+// truncating any torn tail. After Open returns, LastEpoch serves the
+// newest durable epoch per domain.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("statestore: Config.Dir is required")
+	}
+	if cfg.CompactAfter == 0 {
+		cfg.CompactAfter = defaultCompactAfter
+	}
+	if cfg.FlowCompactAfter == 0 {
+		cfg.FlowCompactAfter = defaultFlowCompactAfter
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statestore: %w", err)
+	}
+	s := &Store{
+		cfg:    cfg,
+		epochs: make(map[string]epochRec),
+		flows:  make(map[string]*FlowIndex),
+	}
+	if err := s.loadBase(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(cfg.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("statestore: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// loadBase reads the compacted epoch image. A torn base tail (possible
+// only if a crash beat the rename barrier, which the write path
+// prevents) degrades to the valid prefix.
+func (s *Store) loadBase() error {
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, baseName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	recs, n := SplitFrames(data)
+	if n < len(data) {
+		s.tornRecords.Add(uint64(len(data) - n))
+	}
+	for _, rec := range recs {
+		s.applyEpochRecord(rec)
+	}
+	return nil
+}
+
+// replayWAL applies the WAL's longest valid prefix and truncates the
+// file to it, so the next append never splices new frames onto a torn
+// tail.
+func (s *Store) replayWAL() error {
+	path := filepath.Join(s.cfg.Dir, walName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("statestore: %w", err)
+	}
+	recs, n := SplitFrames(data)
+	for _, rec := range recs {
+		s.applyEpochRecord(rec)
+	}
+	if n < len(data) {
+		s.tornRecords.Add(uint64(len(data) - n))
+		if err := os.Truncate(path, int64(n)); err != nil {
+			return fmt.Errorf("statestore: truncate torn tail: %w", err)
+		}
+	}
+	s.walSize = int64(n)
+	return nil
+}
+
+// applyEpochRecord merges one decoded record into the epoch map; newer
+// sequence numbers win (replay order and seq order agree for a single
+// writer, but the base + WAL merge needs the comparison). Records that
+// frame-decode but fail epoch decoding are counted and skipped, never
+// fatal: one bad record must not cost the epochs around it.
+func (s *Store) applyEpochRecord(rec []byte) {
+	name, seq, at, token, err := decodeEpoch(rec)
+	if err != nil {
+		s.badEpochs.Add(1)
+		return
+	}
+	if cur, ok := s.epochs[name]; ok && cur.seq >= seq {
+		return
+	}
+	s.epochs[name] = epochRec{seq: seq, at: at, token: token}
+}
+
+// Epoch payload layout (inside a frame):
+//
+//	u8  version (1)
+//	u16 name length, name bytes
+//	u64 seq
+//	i64 unix nanos
+//	u32 token length, token bytes
+const epochVersion = 1
+
+func encodeEpoch(name string, seq uint64, at int64, token []byte) []byte {
+	buf := make([]byte, 0, 1+2+len(name)+8+8+4+len(token))
+	buf = append(buf, epochVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(token)))
+	buf = append(buf, token...)
+	return buf
+}
+
+func decodeEpoch(rec []byte) (name string, seq uint64, at int64, token []byte, err error) {
+	bad := func(what string) (string, uint64, int64, []byte, error) {
+		return "", 0, 0, nil, fmt.Errorf("statestore: bad epoch record: %s", what)
+	}
+	if len(rec) < 1 || rec[0] != epochVersion {
+		return bad("version")
+	}
+	rec = rec[1:]
+	if len(rec) < 2 {
+		return bad("name length")
+	}
+	nameLen := int(binary.LittleEndian.Uint16(rec))
+	rec = rec[2:]
+	if len(rec) < nameLen+8+8+4 {
+		return bad("short body")
+	}
+	name = string(rec[:nameLen])
+	rec = rec[nameLen:]
+	seq = binary.LittleEndian.Uint64(rec)
+	at = int64(binary.LittleEndian.Uint64(rec[8:]))
+	tokenLen := int(binary.LittleEndian.Uint32(rec[16:]))
+	rec = rec[20:]
+	if len(rec) != tokenLen {
+		return bad("token length")
+	}
+	token = append([]byte(nil), rec...)
+	if name == "" {
+		return bad("empty name")
+	}
+	return name, seq, at, token, nil
+}
+
+// PersistEpoch appends one checkpoint epoch for the named domain and
+// makes it durable per the fsync mode. seq must be monotonic per name
+// (the domain runtime's epoch sequence); at is stamped by the store.
+// This is the domain.Persister contract.
+func (s *Store) PersistEpoch(name string, seq uint64, payload []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	at := time.Now().UnixNano()
+	rec := encodeEpoch(name, seq, at, payload)
+	frame := AppendFrame(make([]byte, 0, frameHeaderSize+len(rec)), rec)
+
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("statestore: append epoch: %w", err)
+	}
+	s.walSize += int64(len(frame))
+	s.epochs[name] = epochRec{seq: seq, at: at, token: append([]byte(nil), payload...)}
+	myRec := s.appended.Add(1)
+	s.persisted.Add(1)
+	s.persistBytes.Add(uint64(len(payload)))
+	needCompact := s.cfg.CompactAfter > 0 && s.walSize >= s.cfg.CompactAfter
+	if needCompact {
+		// Compaction writes base.db through a rename barrier and then
+		// truncates the WAL, so it subsumes this record's durability.
+		err := s.compactLocked()
+		s.mu.Unlock()
+		return err
+	}
+	if s.cfg.Fsync == FsyncAlways {
+		err := s.wal.Sync()
+		s.fsyncs.Add(1)
+		if err == nil {
+			s.advanceSynced(myRec)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("statestore: fsync: %w", err)
+		}
+		return nil
+	}
+	s.mu.Unlock()
+	if s.cfg.Fsync == FsyncGroup {
+		return s.syncTo(myRec)
+	}
+	return nil
+}
+
+// syncTo ensures every record up to and including rec is flushed: the
+// group-commit path. A caller whose record was covered by a concurrent
+// fsync returns without issuing one.
+func (s *Store) syncTo(rec uint64) error {
+	if s.synced.Load() >= rec {
+		return nil
+	}
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.synced.Load() >= rec {
+		return nil // a sibling's sync covered us while we waited
+	}
+	covered := s.appended.Load()
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("statestore: fsync: %w", err)
+	}
+	s.fsyncs.Add(1)
+	s.advanceSynced(covered)
+	return nil
+}
+
+// advanceSynced raises the synced watermark monotonically.
+func (s *Store) advanceSynced(to uint64) {
+	for {
+		cur := s.synced.Load()
+		if cur >= to || s.synced.CompareAndSwap(cur, to) {
+			return
+		}
+	}
+}
+
+// LastEpoch returns the newest durable epoch for the named domain: the
+// token payload (a copy), its sequence number, and whether one exists.
+// This is the domain.Persister contract.
+func (s *Store) LastEpoch(name string) ([]byte, uint64, bool, error) {
+	if s.closed.Load() {
+		return nil, 0, false, ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.epochs[name]
+	if !ok {
+		return nil, 0, false, nil
+	}
+	return append([]byte(nil), rec.token...), rec.seq, true, nil
+}
+
+// EpochCount reports how many domains have a durable epoch.
+func (s *Store) EpochCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.epochs)
+}
+
+// Names returns the domains with a durable epoch, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.epochs))
+	for name := range s.epochs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compact rewrites base.db as the newest epoch per domain and truncates
+// the WAL. Crash-safe: the new base is fully written and fsynced before
+// a rename swaps it in, the directory entry is fsynced before the WAL is
+// truncated, so every instant of the sequence recovers to either the old
+// (base + WAL) or the new (base alone) image — never less.
+func (s *Store) Compact() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	names := make([]string, 0, len(s.epochs))
+	for name := range s.epochs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf []byte
+	for _, name := range names {
+		rec := s.epochs[name]
+		buf = AppendFrame(buf, encodeEpoch(name, rec.seq, rec.at, rec.token))
+	}
+	base := filepath.Join(s.cfg.Dir, baseName)
+	if err := atomicWriteFile(base, buf, s.cfg.Fsync != FsyncNone); err != nil {
+		return fmt.Errorf("statestore: compact: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("statestore: compact: truncate wal: %w", err)
+	}
+	s.walSize = 0
+	s.compactions.Add(1)
+	// Everything appended so far is now durable via the base image.
+	s.advanceSynced(s.appended.Load())
+	return nil
+}
+
+// atomicWriteFile writes data to path through a temp file + rename, with
+// file and directory fsyncs when sync is true — the standard torn-write
+// barrier.
+func atomicWriteFile(path string, data []byte, sync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	if sync {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WALSize reports the current WAL length in bytes.
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walSize
+}
+
+// StatsSnapshot returns a point-in-time copy of the store's counters.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	epochs := len(s.epochs)
+	wal := s.walSize
+	s.mu.Unlock()
+	return Stats{
+		Epochs:       epochs,
+		Persisted:    s.persisted.Load(),
+		PersistBytes: s.persistBytes.Load(),
+		Fsyncs:       s.fsyncs.Load(),
+		Compactions:  s.compactions.Load(),
+		TornRecords:  s.tornRecords.Load() + s.badEpochs.Load(),
+		Spilled:      s.spilled.Load(),
+		Promotions:   s.promotions.Load(),
+		WALBytes:     wal,
+	}
+}
+
+// RegisterMetrics exports the store's cells under the given labels.
+func (s *Store) RegisterMetrics(reg telemetry.Registrar, labels telemetry.Labels) {
+	reg.RegisterCounter("statestore_epochs_persisted_total", labels, &s.persisted)
+	reg.RegisterCounter("statestore_persist_bytes_total", labels, &s.persistBytes)
+	reg.RegisterCounter("statestore_fsyncs_total", labels, &s.fsyncs)
+	reg.RegisterCounter("statestore_compactions_total", labels, &s.compactions)
+	reg.RegisterCounter("statestore_torn_records_total", labels, &s.tornRecords)
+	reg.RegisterCounter("statestore_flows_spilled_total", labels, &s.spilled)
+	reg.RegisterCounter("statestore_flow_promotions_total", labels, &s.promotions)
+	reg.RegisterGaugeFunc("statestore_wal_bytes", labels, func() float64 {
+		return float64(s.WALSize())
+	})
+}
+
+// Close flushes and closes the WAL and every open flow index. Further
+// operations return ErrClosed.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	s.mu.Lock()
+	if s.wal != nil {
+		if s.cfg.Fsync != FsyncNone {
+			if err := s.wal.Sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := s.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.mu.Unlock()
+	s.flowMu.Lock()
+	for _, fi := range s.flows {
+		if err := fi.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.flowMu.Unlock()
+	return first
+}

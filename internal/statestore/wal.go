@@ -1,0 +1,68 @@
+// Package statestore is the log-structured durable store for checkpoint
+// epochs and spilled flow state — the layer that takes the paper's §5
+// in-RAM checkpoint tokens and makes them survive a process kill, not
+// just a supervised domain restart.
+//
+// Layout on disk (one directory per store):
+//
+//	wal.log      append-only epoch records, one frame per persisted epoch
+//	base.db      compacted epoch image: the newest frame per domain
+//	<name>.flog  per-domain flow spill log (framed SpillRecord batches)
+//	<name>.fidx  per-domain compacted flow index, sorted by flow hash
+//
+// Every file shares one record framing (this file): a little-endian
+// u32 payload length, a u32 CRC-32C of the payload, then the payload.
+// Recovery reads the longest valid prefix of each log and truncates the
+// torn tail, so a kill -9 mid-append loses at most the record being
+// written — never a previously fsynced epoch, and never yields a
+// partial epoch (the frame either passes its CRC whole or is dropped).
+package statestore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// frameHeaderSize is the fixed per-record overhead: u32 length, u32 CRC.
+const frameHeaderSize = 8
+
+// MaxFrame bounds a single record's payload. Anything larger in a log is
+// treated as corruption (a torn or bit-flipped length prefix), ending
+// the valid prefix there.
+const MaxFrame = 64 << 20
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one framed record holding payload to buf and
+// returns the extended buffer.
+func AppendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// SplitFrames decodes the longest valid prefix of a log: every complete,
+// CRC-clean record in order, and n, the byte length of that prefix.
+// data[n:] is the torn tail (truncated header, short payload, oversized
+// length, or CRC mismatch) and is never partially decoded. The returned
+// payloads are subslices of data, not copies.
+func SplitFrames(data []byte) (recs [][]byte, n int) {
+	for {
+		rest := data[n:]
+		if len(rest) < frameHeaderSize {
+			return recs, n
+		}
+		length := binary.LittleEndian.Uint32(rest)
+		if length > MaxFrame || int(length) > len(rest)-frameHeaderSize {
+			return recs, n
+		}
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		payload := rest[frameHeaderSize : frameHeaderSize+int(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, n
+		}
+		recs = append(recs, payload)
+		n += frameHeaderSize + int(length)
+	}
+}

@@ -1,0 +1,105 @@
+package statestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func frames(payloads ...string) []byte {
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, []byte(p))
+	}
+	return buf
+}
+
+func TestSplitFramesRoundTrip(t *testing.T) {
+	data := frames("alpha", "", "bravo-charlie")
+	recs, n := SplitFrames(data)
+	if n != len(data) {
+		t.Fatalf("valid prefix = %d, want %d", n, len(data))
+	}
+	want := []string{"alpha", "", "bravo-charlie"}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if string(rec) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, rec, want[i])
+		}
+	}
+}
+
+func TestSplitFramesTornTail(t *testing.T) {
+	full := frames("alpha", "bravo")
+	first := frames("alpha")
+	cases := []struct {
+		name string
+		data []byte
+		want int // surviving records
+	}{
+		{"empty", nil, 0},
+		{"mid length prefix", full[:len(first)+2], 1},
+		{"mid crc", full[:len(first)+6], 1},
+		{"mid payload", full[:len(full)-2], 1},
+		{"header only", full[:len(first)+8], 1},
+		{"all torn", full[:3], 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, n := SplitFrames(tc.data)
+			if len(recs) != tc.want {
+				t.Fatalf("got %d records, want %d", len(recs), tc.want)
+			}
+			// The valid prefix re-encodes to exactly data[:n].
+			var re []byte
+			for _, r := range recs {
+				re = AppendFrame(re, r)
+			}
+			if !bytes.Equal(re, tc.data[:n]) {
+				t.Fatalf("re-encoded prefix differs: %x vs %x", re, tc.data[:n])
+			}
+		})
+	}
+}
+
+func TestSplitFramesCorruption(t *testing.T) {
+	full := frames("alpha", "bravo")
+	first := frames("alpha")
+
+	// Bit-flip inside the second payload: CRC catches it, record one
+	// survives.
+	flipped := append([]byte(nil), full...)
+	flipped[len(first)+8+1] ^= 0x40
+	recs, n := SplitFrames(flipped)
+	if len(recs) != 1 || n != len(first) {
+		t.Fatalf("payload flip: %d records, prefix %d; want 1, %d", len(recs), n, len(first))
+	}
+
+	// Bit-flip in the second length prefix making it absurd: same result.
+	flipped = append([]byte(nil), full...)
+	flipped[len(first)+3] ^= 0x80 // high byte of the u32 length
+	recs, n = SplitFrames(flipped)
+	if len(recs) != 1 || n != len(first) {
+		t.Fatalf("length flip: %d records, prefix %d; want 1, %d", len(recs), n, len(first))
+	}
+
+	// Flip in the *first* record: nothing survives.
+	flipped = append([]byte(nil), full...)
+	flipped[9] ^= 0x01
+	recs, n = SplitFrames(flipped)
+	if len(recs) != 0 || n != 0 {
+		t.Fatalf("first-record flip: %d records, prefix %d; want 0, 0", len(recs), n)
+	}
+}
+
+func TestSplitFramesOversizedLength(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 0xff, 0xff, 0xff, 0x7f) // length ≫ MaxFrame
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, bytes.Repeat([]byte{0xab}, 64)...)
+	recs, n := SplitFrames(buf)
+	if len(recs) != 0 || n != 0 {
+		t.Fatalf("oversized length: %d records, prefix %d; want 0, 0", len(recs), n)
+	}
+}
