@@ -22,6 +22,17 @@ NETPORT_PPS_FLOOR ?= 320000
 # WAL become a multiple-of-RAM cliff.
 STATESTORE_OVERHEAD_MAX ?= 4.0
 
+# Ceilings for the pipeline allocation gates. The recorded numbers after
+# the zero-alloc fix are ~800 allocs/op for the checkpointed pipeline at
+# epoch=off (all of it per-Run cold start: supervisor construction and
+# first-sight flows) and ~650 for the supervised steady run; the
+# regression this gate exists to catch was 168k+. 4000 absorbs iteration-
+# count amortisation noise while tripping at a tiny fraction of the bug.
+# The epoch=10ms case additionally pays ~1 alloc per live flow per
+# checkpoint epoch (sanctioned; see DESIGN.md), recorded ~8-9k.
+PIPELINE_ALLOCS_MAX ?= 4000
+PIPELINE_EPOCH_ALLOCS_MAX ?= 20000
+
 .PHONY: check build test test-e2e test-recovery race race-all vet guard-atomics alloc-gate fuzz bench bench-all bench-gate
 
 ## check: the PR gate — vet, build, full tests, race tier, e2e tier,
@@ -45,11 +56,23 @@ guard-atomics:
 ## the untraced path (sampler miss + unarmed stamp, what every packet
 ## pays) and the armed path (arm, stamp, complete into the ring). A
 ## -benchmem run with a benchgate allocs/op ceiling of 0 enforces both.
+## The second half gates the full pipeline: benchgate ceilings on the
+## checkpointed and supervised pipeline benches catch any return of the
+## per-packet allocation regression (168k allocs/op before the fix,
+## ~800 after — all cold start). benchgate echoes stdin unchanged but a
+## mid-pipe failure would be masked without pipefail, so the output is
+## captured once and each gate reads the file.
 alloc-gate:
 	$(GO) test -run='^$$' -bench='TraceRecordPath' -benchmem -benchtime=10000x ./internal/telemetry/trace \
 		| $(GO) run ./cmd/benchgate -bench BenchmarkTraceRecordPathUntraced -metric allocs/op -max 0
 	$(GO) test -run='^$$' -bench='TraceRecordPathArmed' -benchmem -benchtime=10000x ./internal/telemetry/trace \
 		| $(GO) run ./cmd/benchgate -bench BenchmarkTraceRecordPathArmed -metric allocs/op -max 0
+	@set -e; out=$$(mktemp); trap "rm -f $$out" EXIT; \
+	$(GO) test -run='^$$' -bench='CheckpointedPipeline|SupervisedPipeline/steady$$' -benchmem -benchtime=5x . | tee $$out; \
+	$(GO) run ./cmd/benchgate -bench BenchmarkCheckpointedPipeline/epoch=off -metric allocs/op -max $(PIPELINE_ALLOCS_MAX) < $$out > /dev/null; \
+	$(GO) run ./cmd/benchgate -bench BenchmarkCheckpointedPipeline/epoch=10ms -metric allocs/op -max $(PIPELINE_EPOCH_ALLOCS_MAX) < $$out > /dev/null; \
+	$(GO) run ./cmd/benchgate -bench BenchmarkCheckpointedPipeline/epoch=100ms -metric allocs/op -max $(PIPELINE_ALLOCS_MAX) < $$out > /dev/null; \
+	$(GO) run ./cmd/benchgate -bench BenchmarkSupervisedPipeline/steady -metric allocs/op -max $(PIPELINE_ALLOCS_MAX) < $$out > /dev/null
 
 vet:
 	$(GO) vet ./...

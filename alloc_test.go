@@ -1,0 +1,95 @@
+// Steady-state allocation budget for the full NF pipeline: the unit-test
+// counterpart of the make-check alloc gate on the pipeline benches. The
+// per-packet path (RX burst → parse → firewall → maglev → session → TX)
+// must stay allocation-free once flows, pools, and scratch are warm;
+// cold starts, first-sight flows, eviction batches, and checkpoint
+// epochs are the only sanctioned allocators (see DESIGN.md "Memory
+// discipline").
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dpdk"
+	"repro/internal/firewall"
+	"repro/internal/linear"
+	"repro/internal/maglev"
+	"repro/internal/netbricks"
+	"repro/internal/packet"
+	"repro/internal/session"
+)
+
+// allocBudgetPerPacket is the explicit steady-state budget. The path is
+// designed to be exactly zero; the headroom only absorbs incidental
+// runtime noise (a map rehash, a sync.Mutex inflation) so the test pins
+// the floor without flaking.
+const allocBudgetPerPacket = 0.05
+
+func TestPipelineSteadyStateAllocBudget(t *testing.T) {
+	const batchSize = 32
+	port := dpdk.NewPort(dpdk.Config{
+		PoolSize: 512,
+		QueueGen: dpdk.NewRSSPartition(dpdk.DefaultSpec(), 64, 1),
+	})
+	db := firewall.NewDB(firewall.Deny)
+	if _, err := db.AddRule(packet.Addr(10, 99, 0, 0), 16, firewall.Rule{ID: 1, Action: firewall.Allow}); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := maglev.NewBalancer([]maglev.Backend{
+		{Name: "be-0", IP: packet.Addr(10, 1, 0, 1)},
+		{Name: "be-1", IP: packet.Addr(10, 1, 0, 2)},
+	}, maglev.DefaultTableSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := session.NewTable()
+	pipe := netbricks.NewPipeline(
+		netbricks.Parse{},
+		firewall.Operator{DB: db},
+		maglev.Operator{LB: lb},
+		session.Operator{T: tbl},
+	)
+
+	// One reusable batch and one reusable linear cell, the way the
+	// runners drive the pipeline at steady state.
+	batch := &netbricks.Batch{}
+	var cell linear.Owned[*netbricks.Batch]
+	haveCell := false
+	buf := make([]*packet.Packet, batchSize)
+	invoke := func() {
+		got := port.RxBurstQueue(0, buf)
+		if got == 0 {
+			t.Fatal("port produced no packets")
+		}
+		batch.Pkts = append(batch.Pkts[:0], buf[:got]...)
+		batch.Dropped = batch.Dropped[:0]
+		var owned linear.Owned[*netbricks.Batch]
+		if haveCell {
+			owned = cell.MustRenew(batch)
+		} else {
+			owned = linear.New(batch)
+		}
+		out, err := pipe.Process(owned)
+		if err != nil {
+			t.Fatalf("pipeline: %v", err)
+		}
+		final := out.MustInto()
+		port.TxBurstQueue(0, final.Pkts)
+		port.FreeQueue(0, final.Dropped)
+		final.Pkts = final.Pkts[:0]
+		final.Dropped = final.Dropped[:0]
+		batch = final
+		cell = out
+		haveCell = true
+	}
+
+	for i := 0; i < 100; i++ { // warm every flow, map, pool, and scratch
+		invoke()
+	}
+	perBatch := testing.AllocsPerRun(200, invoke)
+	perPacket := perBatch / batchSize
+	if perPacket > allocBudgetPerPacket {
+		t.Fatalf("steady-state pipeline allocates %.4f objects/packet (%.1f/batch), budget %.2f",
+			perPacket, perBatch, allocBudgetPerPacket)
+	}
+}

@@ -420,6 +420,19 @@ func (r Rc[T]) Get() T {
 	return r.box.val
 }
 
+// Peek returns a pointer to the shared value without copying it. It is
+// the read path for per-packet code: Get copies T under the box lock and
+// the copy heap-escapes when the caller returns a pointer to it, while
+// Peek hands out the box's own storage. The caller must treat the target
+// as read-only and must not race it with Set; values that mutate after
+// publication should stay on Get/Set.
+func (r Rc[T]) Peek() *T {
+	if r.box == nil {
+		panic("checkpoint: Peek on zero Rc")
+	}
+	return &r.box.val
+}
+
 // Set replaces the shared value (visible through every alias — this is
 // exactly the behaviour that defeats naive traversal and security-type
 // systems, and that the epoch flag handles for free).

@@ -130,8 +130,9 @@ type Port struct {
 	reta    *packet.RETA
 	rssKey  packet.RSSKey
 	steered bool // software-RSS distributor mode (shared gen, per-queue rings)
-	queues  []*rxQueue
-	fillMu  sync.Mutex // serializes the shared generator on the steered fill path
+	queues   []*rxQueue
+	fillMu   sync.Mutex       // serializes the shared generator on the steered fill path
+	fillSpec packet.BuildSpec // fillSteered scratch, guarded by fillMu (see rxQueue.spec)
 
 	// Stats is exported for harnesses.
 	Stats PortStats

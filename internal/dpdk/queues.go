@@ -35,6 +35,11 @@ type rxQueue struct {
 	gen   Generator                     // per-queue source; nil in steered mode or for empty partitions
 	ring  *mempool.Ring[*packet.Packet] // steered mode only
 	cache *mempool.Cache[packet.Packet]
+
+	// spec is fillLocal's scratch, a struct field because a stack-local
+	// BuildSpec passed through the Generator interface escapes — one heap
+	// allocation per burst on the receive hot path. Guarded by mu.
+	spec packet.BuildSpec
 }
 
 // Queues reports the number of receive queues.
@@ -83,15 +88,14 @@ func (p *Port) fillLocal(q int, rq *rxQueue, out []*packet.Packet) int {
 		return 0 // empty partition: no flows hash to this queue
 	}
 	n := 0
-	var spec packet.BuildSpec
 	for n < len(out) {
 		pkt, err := rq.cache.Get()
 		if err != nil {
 			p.Stats.AllocFail.Add(1)
 			break
 		}
-		rq.gen.NextSpec(&spec)
-		p.initPacket(pkt, &spec, q)
+		rq.gen.NextSpec(&rq.spec)
+		p.initPacket(pkt, &rq.spec, q)
 		p.countRx(pkt)
 		out[n] = pkt
 		n++
@@ -108,7 +112,7 @@ func (p *Port) fillSteered(q int, want int) {
 	budget := want*len(p.queues) + 16
 	p.fillMu.Lock()
 	defer p.fillMu.Unlock()
-	var spec packet.BuildSpec
+	spec := &p.fillSpec // scratch under fillMu; a stack local would escape via the Generator call
 	got := 0
 	for i := 0; i < budget && got < want; i++ {
 		pkt, err := p.pool.Get()
@@ -116,9 +120,9 @@ func (p *Port) fillSteered(q int, want int) {
 			p.Stats.AllocFail.Add(1)
 			break
 		}
-		p.gen.NextSpec(&spec)
+		p.gen.NextSpec(spec)
 		dst := p.reta.Queue(spec.Tuple.RSSHash(p.rssKey))
-		p.initPacket(pkt, &spec, dst)
+		p.initPacket(pkt, spec, dst)
 		if p.queues[dst].ring.Enqueue(pkt) != nil {
 			// Destination ring full: the owning worker is not draining.
 			// Hardware drops the packet and counts rx_missed.

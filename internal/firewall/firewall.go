@@ -96,14 +96,16 @@ func (db *DB) AttachRule(dst packet.IPv4, length int, h SharedRule) error {
 
 // Match classifies a tuple: longest-prefix match on the destination
 // address, then first rule in the leaf whose transport constraints match.
-// Falls back to the default action.
+// Falls back to the default action. The returned rule pointer aims into
+// the shared Rc box (rules are immutable once attached), so the per-packet
+// path stays allocation-free; callers must not write through it.
 func (db *DB) Match(t packet.FiveTuple) (Action, *Rule) {
 	rules, ok := db.Rules.Lookup(t.DstIP)
 	if ok {
 		for _, h := range rules {
-			r := h.Get()
+			r := h.Peek()
 			if r.Matches(t) {
-				return r.Action, &r
+				return r.Action, r
 			}
 		}
 	}

@@ -42,6 +42,9 @@ var (
 	ErrMutBorrowed = errors.New("linear: value is mutably borrowed")
 	// ErrReleased reports a double release of a borrow guard.
 	ErrReleased = errors.New("linear: borrow already released")
+	// ErrLive reports a Renew of a cell that still holds a live value;
+	// the value must be consumed (Into) or dropped first.
+	ErrLive = errors.New("linear: cell still holds a live value")
 )
 
 // ViolationError wraps a sentinel error with the operation that failed.
@@ -274,25 +277,112 @@ func (o Owned[T]) MustBorrowMut() *RefMut[T] {
 }
 
 // With runs fn with a shared borrow of the value, releasing it afterwards.
+// Unlike Borrow, no guard object is handed out, so the borrow bookkeeping
+// stays on the stack — this is the per-packet path through the mailbox and
+// pipeline stages, and it must not allocate.
 func (o Owned[T]) With(fn func(T)) error {
-	r, err := o.Borrow()
-	if err != nil {
+	const op = "Owned.With"
+	c := o.c
+	if c == nil {
+		return violation(op, ErrDropped)
+	}
+	c.mu.Lock()
+	if err := o.check(op); err != nil {
+		c.mu.Unlock()
 		return err
 	}
-	defer func() { _ = r.Release() }()
-	fn(r.Value())
+	if c.writer {
+		c.mu.Unlock()
+		return violation(op, ErrMutBorrowed)
+	}
+	c.readers++
+	v := c.val
+	c.mu.Unlock()
+	defer releaseShared(c)
+	fn(v)
 	return nil
 }
 
-// WithMut runs fn with an exclusive borrow of the value.
+// releaseShared ends an inline shared borrow taken by With. Kept as a
+// named function so the deferred call does not capture a closure.
+func releaseShared[T any](c *cell[T]) {
+	c.mu.Lock()
+	c.readers--
+	c.mu.Unlock()
+}
+
+// WithMut runs fn with an exclusive borrow of the value. Like With, the
+// borrow is tracked inline without allocating a guard.
 func (o Owned[T]) WithMut(fn func(*T)) error {
-	r, err := o.BorrowMut()
-	if err != nil {
+	const op = "Owned.WithMut"
+	c := o.c
+	if c == nil {
+		return violation(op, ErrDropped)
+	}
+	c.mu.Lock()
+	if err := o.check(op); err != nil {
+		c.mu.Unlock()
 		return err
 	}
-	defer func() { _ = r.Release() }()
-	fn(r.Value())
+	if c.readers > 0 {
+		c.mu.Unlock()
+		return violation(op, ErrBorrowed)
+	}
+	if c.writer {
+		c.mu.Unlock()
+		return violation(op, ErrMutBorrowed)
+	}
+	c.writer = true
+	c.mu.Unlock()
+	defer releaseExclusive(c)
+	fn(&c.val)
 	return nil
+}
+
+// releaseExclusive ends an inline exclusive borrow taken by WithMut.
+func releaseExclusive[T any](c *cell[T]) {
+	c.mu.Lock()
+	c.writer = false
+	c.mu.Unlock()
+}
+
+// Renew revives a consumed cell with a fresh value and returns a new live
+// handle, reusing the allocation. Only the handle that consumed the value
+// (via Into) may renew it, and the generation bump invalidates every older
+// copy — so recycling a mailbox cell across batches keeps the full
+// use-after-move detection while costing zero allocations per message.
+func (o Owned[T]) Renew(v T) (Owned[T], error) {
+	const op = "Owned.Renew"
+	if o.c == nil {
+		return Owned[T]{}, violation(op, ErrDropped)
+	}
+	o.c.mu.Lock()
+	defer o.c.mu.Unlock()
+	if o.gen != o.c.gen {
+		return Owned[T]{}, violation(op, ErrMoved)
+	}
+	switch o.c.state {
+	case stateLive:
+		return Owned[T]{}, violation(op, ErrLive)
+	case stateDropped:
+		return Owned[T]{}, violation(op, ErrDropped)
+	}
+	if o.c.readers > 0 || o.c.writer {
+		return Owned[T]{}, violation(op, ErrBorrowed)
+	}
+	o.c.gen++
+	o.c.val = v
+	o.c.state = stateLive
+	return Owned[T]{c: o.c, gen: o.c.gen}, nil
+}
+
+// MustRenew is Renew but panics on violation.
+func (o Owned[T]) MustRenew(v T) Owned[T] {
+	n, err := o.Renew(v)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }
 
 // String implements fmt.Stringer for diagnostics without borrowing.

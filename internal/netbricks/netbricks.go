@@ -73,6 +73,15 @@ type Batch struct {
 // Len reports the number of live packets in the batch.
 func (b *Batch) Len() int { return len(b.Pkts) }
 
+// reset empties the batch for reuse, keeping the slice capacity. Packet
+// pointers left in the capacity tail are pool-owned and permanently live,
+// so truncation is enough.
+func (b *Batch) reset() {
+	b.Pkts = b.Pkts[:0]
+	b.Dropped = b.Dropped[:0]
+	b.traced = b.traced[:0]
+}
+
 // Drop removes the packet at index i (order not preserved) and records it
 // for the runner to free.
 func (b *Batch) Drop(i int) {
@@ -81,6 +90,53 @@ func (b *Batch) Drop(i int) {
 	b.Pkts[i] = b.Pkts[last]
 	b.Pkts[last] = nil
 	b.Pkts = b.Pkts[:last]
+}
+
+// batchCarrier reuses one *Batch object and its linear cell across a
+// synchronous run-to-completion loop, so the steady-state per-batch cost
+// is a slice copy into retained capacity plus a generation bump (Renew)
+// instead of two heap allocations. Fault paths call lost() — the batch
+// may be trapped inside a failed stage domain, so the next load starts
+// fresh and the old storage falls to the GC.
+type batchCarrier struct {
+	b    *Batch
+	cell linear.Owned[*Batch]
+	ok   bool // cell is a consumed handle Renew can revive
+}
+
+// load fills the carrier's batch from pkts and wraps it in a live handle.
+func (bc *batchCarrier) load(pkts []*packet.Packet, traced bool) linear.Owned[*Batch] {
+	if bc.b == nil {
+		bc.b = &Batch{}
+	}
+	bc.b.Pkts = append(bc.b.Pkts[:0], pkts...)
+	bc.b.Dropped = bc.b.Dropped[:0]
+	bc.b.traced = bc.b.traced[:0]
+	if traced {
+		bc.b.scanTraced()
+	}
+	if bc.ok {
+		bc.ok = false
+		if o, err := bc.cell.Renew(bc.b); err == nil {
+			return o
+		}
+	}
+	return linear.New(bc.b)
+}
+
+// recycle stores a consumed handle and its (now transmitted) batch for
+// the next load.
+func (bc *batchCarrier) recycle(cell linear.Owned[*Batch], b *Batch) {
+	b.reset()
+	bc.b = b
+	bc.cell = cell
+	bc.ok = true
+}
+
+// lost abandons the current storage after a fault.
+func (bc *batchCarrier) lost() {
+	bc.b = nil
+	bc.ok = false
 }
 
 // Operator is one pipeline stage. ProcessBatch mutates the batch in place
@@ -454,17 +510,14 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 		}
 	}
 	var stats RunStats
+	var car batchCarrier
 	buf := make([]*packet.Packet, r.BatchSize)
 	for i := 0; i < n; i++ {
 		got := r.Port.RxBurstQueue(0, buf)
 		if got == 0 {
 			break
 		}
-		batch := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
-		if r.Tracer != nil {
-			batch.scanTraced()
-		}
-		owned := linear.New(batch)
+		owned := car.load(buf[:got], r.Tracer != nil)
 		var err error
 		if r.Direct != nil {
 			owned, err = r.Direct.Process(owned)
@@ -479,6 +532,7 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 			// until pool destruction; the manager reclaims domain memory
 			// by clearing the reference table, which the GC then frees).
 			r.Port.FreeQueue(0, buf[:got])
+			car.lost()
 			if r.AutoRecover && r.Isolated != nil {
 				if rerr := r.Isolated.Recover(); rerr != nil {
 					return stats, rerr
@@ -497,6 +551,7 @@ func (r *Runner) Run(ctx *sfi.Context, n int) (RunStats, error) {
 		stats.Drops += uint64(len(final.Dropped))
 		r.Port.TxBurstQueue(0, final.Pkts)
 		r.Port.FreeQueue(0, final.Dropped)
+		car.recycle(owned, final)
 	}
 	return stats, nil
 }

@@ -25,7 +25,6 @@ import (
 	"time"
 
 	"repro/internal/domain"
-	"repro/internal/linear"
 	"repro/internal/packet"
 	"repro/internal/sfi"
 	"repro/internal/telemetry"
@@ -230,6 +229,7 @@ func (r *ShardedRunner) runWorker(w, n int) error {
 	}
 	ctx := sfi.NewContext()
 	ws := r.stats[w]
+	var car batchCarrier
 	buf := make([]*packet.Packet, r.BatchSize)
 	idle := 0
 	for i := 0; i < n; {
@@ -244,11 +244,7 @@ func (r *ShardedRunner) runWorker(w, n int) error {
 		}
 		idle = 0
 		i++
-		batch := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
-		if r.Tracer != nil {
-			batch.scanTraced()
-		}
-		owned := linear.New(batch)
+		owned := car.load(buf[:got], r.Tracer != nil)
 		var err error
 		start := time.Now()
 		if direct != nil {
@@ -260,6 +256,7 @@ func (r *ShardedRunner) runWorker(w, n int) error {
 		if err != nil {
 			ws.Faults.Add(1)
 			r.Port.FreeQueue(w, buf[:got])
+			car.lost()
 			if r.AutoRecover && isolated != nil {
 				if rerr := isolated.Recover(); rerr != nil {
 					return rerr
@@ -278,6 +275,7 @@ func (r *ShardedRunner) runWorker(w, n int) error {
 		ws.Drops.Add(uint64(len(final.Dropped)))
 		r.Port.TxBurstQueue(w, final.Pkts)
 		r.Port.FreeQueue(w, final.Dropped)
+		car.recycle(owned, final)
 	}
 	return nil
 }

@@ -29,6 +29,82 @@ import (
 	"repro/internal/packet"
 )
 
+// batchRecycler is one worker's free-list of batch-carrier storage: the
+// *Batch object with its packet slices, the linear cell that carried it
+// (revived with Renew, so stale handles still fail the generation
+// check), and the handler's conservation-snapshot scratch. The feeder
+// goroutine and the domain's serving goroutine exchange entries through
+// it, making steady-state forwarding allocation-free per batch. Fault
+// paths simply don't recycle — the next batch pays one fresh allocation.
+// The mutex also serializes access across handler generations: a hung
+// generation the supervisor abandoned may still be running while its
+// successor serves.
+type batchRecycler struct {
+	mu    sync.Mutex
+	cells []recycledCell
+	snaps [][]*packet.Packet
+}
+
+type recycledCell struct {
+	cell  linear.Owned[*Batch]
+	batch *Batch
+}
+
+func newBatchRecycler(depth int) *batchRecycler {
+	return &batchRecycler{
+		cells: make([]recycledCell, 0, depth),
+		snaps: make([][]*packet.Packet, 0, depth),
+	}
+}
+
+func (rc *batchRecycler) put(cell linear.Owned[*Batch], b *Batch) {
+	b.reset()
+	rc.mu.Lock()
+	if len(rc.cells) < cap(rc.cells) {
+		rc.cells = append(rc.cells, recycledCell{cell: cell, batch: b})
+	}
+	rc.mu.Unlock()
+}
+
+func (rc *batchRecycler) get() (linear.Owned[*Batch], *Batch, bool) {
+	rc.mu.Lock()
+	n := len(rc.cells)
+	if n == 0 {
+		rc.mu.Unlock()
+		return linear.Owned[*Batch]{}, nil, false
+	}
+	e := rc.cells[n-1]
+	rc.cells[n-1] = recycledCell{}
+	rc.cells = rc.cells[:n-1]
+	rc.mu.Unlock()
+	return e.cell, e.batch, true
+}
+
+func (rc *batchRecycler) getSnap() []*packet.Packet {
+	rc.mu.Lock()
+	n := len(rc.snaps)
+	if n == 0 {
+		rc.mu.Unlock()
+		return nil
+	}
+	s := rc.snaps[n-1]
+	rc.snaps[n-1] = nil
+	rc.snaps = rc.snaps[:n-1]
+	rc.mu.Unlock()
+	return s
+}
+
+func (rc *batchRecycler) putSnap(s []*packet.Packet) {
+	if cap(s) == 0 {
+		return
+	}
+	rc.mu.Lock()
+	if len(rc.snaps) < cap(rc.snaps) {
+		rc.snaps = append(rc.snaps, s[:0])
+	}
+	rc.mu.Unlock()
+}
+
 // runSupervised is Run's supervised-mode body: spawn one supervised
 // domain plus one feeder per worker, wait for the feeders to exhaust
 // their batch budget and the domains to drain, then settle the pool.
@@ -41,9 +117,15 @@ func (r *ShardedRunner) runSupervised(n int) (RunStats, error) {
 	defer sup.Close()
 	r.sup.Store(sup)
 
+	depth := r.MailboxDepth
+	if depth <= 0 {
+		depth = 4
+	}
 	doms := make([]*domain.Domain[*Batch], r.Workers)
+	recs := make([]*batchRecycler, r.Workers)
 	for w := 0; w < r.Workers; w++ {
-		d, err := r.spawnWorker(sup, w)
+		recs[w] = newBatchRecycler(depth + 2)
+		d, err := r.spawnWorker(sup, w, recs[w])
 		if err != nil {
 			return RunStats{}, err
 		}
@@ -54,7 +136,7 @@ func (r *ShardedRunner) runSupervised(n int) (RunStats, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			r.feedWorker(doms[w], w, n)
+			r.feedWorker(doms[w], w, n, recs[w])
 		}(w)
 	}
 	wg.Wait()
@@ -70,7 +152,7 @@ func (r *ShardedRunner) runSupervised(n int) (RunStats, error) {
 // domain. The handler mirrors runWorker's per-batch body; recovery
 // mirrors its AutoRecover path (rebuild the direct pipeline, or recover
 // the isolated pipeline's failed stage domains).
-func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Domain[*Batch], error) {
+func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int, rec *batchRecycler) (*domain.Domain[*Batch], error) {
 	ws := r.stats[w]
 	newDirect := func() *Pipeline {
 		p := r.NewDirect(w)
@@ -100,9 +182,12 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 		// Snapshot the packet slice while we still own the batch: once
 		// ownership moves into the pipeline, this copy is the only route
 		// the packets have back to the pool if the invocation faults.
-		var pkts []*packet.Packet
+		// The scratch slice comes from (and returns to) the worker's
+		// recycler, so the steady state copies into retained capacity.
+		pkts := rec.getSnap()
+		defer func() { rec.putSnap(pkts) }()
 		if err := msg.With(func(b *Batch) {
-			pkts = append([]*packet.Packet(nil), b.Pkts...)
+			pkts = append(pkts[:0], b.Pkts...)
 		}); err != nil {
 			return err
 		}
@@ -132,10 +217,12 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 		if err != nil {
 			ws.Faults.Add(1)
 			if out.Valid() {
-				// The pipeline handed the (faulted) batch back; destroy it.
+				// The pipeline handed the (faulted) batch back; destroy it
+				// and recycle its storage.
 				if b, ierr := out.Into(); ierr == nil {
 					free(b.Pkts)
 					free(b.Dropped)
+					rec.put(out, b)
 				}
 			} else if !msg.Valid() {
 				// The batch was lost inside a failed stage domain; the
@@ -153,6 +240,7 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 		ws.Drops.Add(uint64(len(final.Dropped)))
 		r.Port.TxBurstQueue(w, final.Pkts)
 		r.Port.FreeQueue(w, final.Dropped)
+		rec.put(out, final)
 		return nil
 	}
 
@@ -207,7 +295,7 @@ func (r *ShardedRunner) spawnWorker(sup *domain.Supervisor, w int) (*domain.Doma
 // in restart backoff backpressures its queue rather than dropping), and
 // fails only when the domain has stopped for good — at which point the
 // mailbox has already released the payload.
-func (r *ShardedRunner) feedWorker(d *domain.Domain[*Batch], w, n int) {
+func (r *ShardedRunner) feedWorker(d *domain.Domain[*Batch], w, n int, rec *batchRecycler) {
 	ws := r.stats[w]
 	buf := make([]*packet.Packet, r.BatchSize)
 	idle := 0
@@ -223,11 +311,25 @@ func (r *ShardedRunner) feedWorker(d *domain.Domain[*Batch], w, n int) {
 		}
 		idle = 0
 		i++
-		b := &Batch{Pkts: append([]*packet.Packet(nil), buf[:got]...)}
+		cell, b, recycled := rec.get()
+		if !recycled {
+			b = &Batch{}
+		}
+		b.Pkts = append(b.Pkts[:0], buf[:got]...)
 		if r.Tracer != nil {
 			b.scanTraced()
 		}
-		if err := d.Inbox().Send(linear.New(b)); err != nil {
+		var msg linear.Owned[*Batch]
+		if recycled {
+			m, rerr := cell.Renew(b)
+			if rerr != nil {
+				m = linear.New(b)
+			}
+			msg = m
+		} else {
+			msg = linear.New(b)
+		}
+		if err := d.Inbox().Send(msg); err != nil {
 			break
 		}
 	}

@@ -27,7 +27,8 @@ type SpillRecord struct {
 type Spill interface {
 	// SpillFlows durably records a batch of evicted flows (upsert by
 	// Hash). An error leaves the batch untracked on disk; the table
-	// keeps the flows in RAM.
+	// keeps the flows in RAM. recs is scratch the table reuses across
+	// eviction batches — implementations must not retain it.
 	SpillFlows(recs []SpillRecord) error
 	// LookupFlow returns the spilled record for a flow hash, if any.
 	LookupFlow(hash uint64) (SpillRecord, bool, error)
@@ -46,6 +47,7 @@ func (t *Table) SetSpill(s Spill, maxFlows int) {
 	defer t.mu.Unlock()
 	t.spill = s
 	t.maxFlows = maxFlows
+	t.rebuildRingLocked()
 }
 
 // SpillStats reports flows evicted to the index, flows promoted back,
@@ -55,6 +57,40 @@ func (t *Table) SpillStats() (spilled, promoted, errs uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.spilled, t.promoted, t.spillErrs
+}
+
+// HotTouched reports evictions_hot_touched: the number of times the
+// eviction clock hand landed on a flow whose reference bit was set and
+// spared it (clearing the bit) instead of spilling it. A workload with a
+// hot/cold skew should see this climb while its hot flows stay resident
+// — the observable proof eviction victims come from the cold tail.
+func (t *Table) HotTouched() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hotTouched
+}
+
+// ringAppendLocked registers a newly resident flow with the eviction
+// clock. The ring is only maintained while a spill index is attached.
+func (t *Table) ringAppendLocked(h uint64) {
+	if t.spill == nil {
+		return
+	}
+	t.ring = append(t.ring, h)
+}
+
+// rebuildRingLocked reseeds the clock ring from the resident flow set —
+// used when a spill index is attached to a populated table and after
+// Restore replaces the flow map wholesale.
+func (t *Table) rebuildRingLocked() {
+	t.ring = t.ring[:0]
+	t.hand = 0
+	if t.spill == nil {
+		return
+	}
+	for h := range t.flows {
+		t.ring = append(t.ring, h)
+	}
 }
 
 // promoteLocked pulls an evicted flow back into RAM on a miss. The
@@ -70,23 +106,29 @@ func (t *Table) promoteLocked(h uint64) *Flow {
 	if !ok {
 		return nil
 	}
-	f := &Flow{
-		Tuple:   rec.Tuple,
-		Backend: t.internLocked(rec.Backend).Clone(),
-		Packets: rec.Packets,
-		Bytes:   rec.Bytes,
-		Spilled: true,
-	}
+	f := t.newFlowLocked()
+	f.Tuple = rec.Tuple
+	f.Backend = t.internLocked(rec.Backend).Clone()
+	f.Packets = rec.Packets
+	f.Bytes = rec.Bytes
+	f.Spilled = true
 	t.flows[h] = f
+	t.ringAppendLocked(h)
 	t.promoted++
 	return f
 }
 
 // evictLocked spills surplus flows once the table exceeds its cap,
 // down to ~7/8 of maxFlows in one batch write. keep is the hash of the
-// flow just touched — never a victim. Victim choice is map iteration
-// order (effectively random); the paper's point is the durability
-// machinery, not an eviction policy — see ROADMAP for the LRU gap.
+// flow just touched — never a victim.
+//
+// Victims come from a clock-hand (second-chance) sweep: the hand walks
+// the residency ring, spares any flow whose reference bit is set
+// (clearing the bit and counting evictions_hot_touched), and spills the
+// cold ones it lands on. Hot flows therefore survive as long as packets
+// keep arriving for them; a plain map-order walk — the previous policy —
+// spilled hot and cold alike. The victim and record slices are scratch
+// retained on the table, so a steady eviction cadence allocates nothing.
 func (t *Table) evictLocked(keep uint64) {
 	if t.spill == nil || t.maxFlows <= 0 || len(t.flows) <= t.maxFlows {
 		return
@@ -95,35 +137,69 @@ func (t *Table) evictLocked(keep uint64) {
 	if target < 1 {
 		target = 1
 	}
-	victims := make([]uint64, 0, len(t.flows)-target)
-	recs := make([]SpillRecord, 0, len(t.flows)-target)
-	for h, f := range t.flows {
-		if len(t.flows)-len(victims) <= target {
-			break
+	need := len(t.flows) - target
+	victims := t.victimScratch[:0]
+	recs := t.recScratch[:0]
+	// Budget bounds the sweep: one pass may only clear ref bits, the
+	// second finds victims; stale ring entries shrink the ring as the
+	// hand meets them, so the loop always terminates.
+	budget := 2*len(t.ring) + need + 1
+	for len(victims) < need && len(t.ring) > 0 && budget > 0 {
+		budget--
+		if t.hand >= len(t.ring) {
+			t.hand = 0
+		}
+		h := t.ring[t.hand]
+		f, ok := t.flows[h]
+		if !ok {
+			// Stale entry (flow already evicted or replaced): drop it and
+			// re-examine the swapped-in slot.
+			last := len(t.ring) - 1
+			t.ring[t.hand] = t.ring[last]
+			t.ring = t.ring[:last]
+			continue
 		}
 		if h == keep {
+			t.hand++
+			continue
+		}
+		if f.hot {
+			// Second chance: clear the bit, spare the flow this sweep.
+			f.hot = false
+			t.hotTouched++
+			t.hand++
 			continue
 		}
 		victims = append(victims, h)
 		recs = append(recs, SpillRecord{
 			Hash:    h,
 			Tuple:   f.Tuple,
-			Backend: f.Backend.Get().IP,
+			Backend: f.Backend.Peek().IP,
 			Packets: f.Packets,
 			Bytes:   f.Bytes,
 		})
+		last := len(t.ring) - 1
+		t.ring[t.hand] = t.ring[last]
+		t.ring = t.ring[:last]
 	}
+	t.victimScratch = victims[:0]
+	t.recScratch = recs[:0]
 	if len(recs) == 0 {
 		return
 	}
 	if err := t.spill.SpillFlows(recs); err != nil {
 		// The batch may not be durable: keep the flows in RAM (the table
-		// runs over its cap — degraded, never wrong) and count it.
+		// runs over its cap — degraded, never wrong), restore the victims
+		// to the clock ring, and count it.
 		t.spillErrs++
+		t.ring = append(t.ring, victims...)
 		return
 	}
 	for _, h := range victims {
-		delete(t.flows, h)
+		if f, ok := t.flows[h]; ok {
+			delete(t.flows, h)
+			t.freeFlowLocked(f)
+		}
 	}
 	t.spilled += uint64(len(recs))
 }

@@ -36,12 +36,49 @@ type Flow struct {
 	Packets uint64
 	Bytes   uint64
 	Spilled bool
+
+	// hot is the second-chance reference bit: set on every tracked
+	// packet, cleared when the eviction clock hand passes over the flow.
+	// Derived state — checkpoints don't carry it (restored flows start
+	// cold) and the spill index never sees it.
+	hot bool
 }
 
 // tableImage is the checkpointed shape of a Table: just the flow graph.
 // The backend intern map is derived state, rebuilt on restore.
 type tableImage struct {
 	Flows map[uint64]*Flow
+}
+
+// CheckpointCopy implements checkpoint.Checkpointable: a hand-written
+// deep copy of the flow graph that routes each backend handle through
+// the engine (preserving Rc aliasing per the engine's mode) but copies
+// the flat Flow fields directly. The reflection walk costs ~10
+// allocations per flow (map key/value boxing, reflect.New per struct);
+// this path costs one — the difference between checkpoint epochs being
+// a blip and being the dominant allocator at 10ms epochs.
+func (img *tableImage) CheckpointCopy(clone func(v any) (any, error)) (any, error) {
+	out := &tableImage{}
+	if img.Flows != nil {
+		out.Flows = make(map[uint64]*Flow, len(img.Flows))
+		for h, f := range img.Flows {
+			nf := &Flow{
+				Tuple:   f.Tuple,
+				Packets: f.Packets,
+				Bytes:   f.Bytes,
+				Spilled: f.Spilled,
+			}
+			if !f.Backend.IsZero() {
+				cb, err := clone(f.Backend)
+				if err != nil {
+					return nil, err
+				}
+				nf.Backend = cb.(checkpoint.Rc[Backend])
+			}
+			out.Flows[h] = nf
+		}
+	}
+	return out, nil
 }
 
 // Table is the session table: flow hash → Flow, with an intern map
@@ -61,6 +98,38 @@ type Table struct {
 	spilled   uint64
 	promoted  uint64
 	spillErrs uint64
+
+	// Eviction clock (see spill.go): ring holds the hashes of resident
+	// flows in approximate insertion order, hand is the sweep cursor, and
+	// hotTouched counts flows the hand spared because their ref bit was
+	// set. Maintained only while a spill index is attached.
+	ring       []uint64
+	hand       int
+	hotTouched uint64
+
+	// Per-batch scratch reused across evictions, and a free list of Flow
+	// objects so steady-state churn (evict → new flow) allocates nothing.
+	victimScratch []uint64
+	recScratch    []SpillRecord
+	flowPool      []*Flow
+}
+
+// newFlowLocked takes a zeroed Flow from the pool, or allocates one.
+func (t *Table) newFlowLocked() *Flow {
+	n := len(t.flowPool)
+	if n == 0 {
+		return &Flow{}
+	}
+	f := t.flowPool[n-1]
+	t.flowPool[n-1] = nil
+	t.flowPool = t.flowPool[:n-1]
+	return f
+}
+
+// freeFlowLocked zeroes a no-longer-tracked Flow and pools it.
+func (t *Table) freeFlowLocked(f *Flow) {
+	*f = Flow{}
+	t.flowPool = append(t.flowPool, f)
 }
 
 // NewTable creates an empty session table.
@@ -96,9 +165,13 @@ func (t *Table) Track(tu packet.FiveTuple, ip packet.IPv4, nbytes int) {
 		f = t.promoteLocked(h)
 	}
 	if f == nil {
-		f = &Flow{Tuple: tu, Backend: t.internLocked(ip).Clone()}
+		f = t.newFlowLocked()
+		f.Tuple = tu
+		f.Backend = t.internLocked(ip).Clone()
 		t.flows[h] = f
+		t.ringAppendLocked(h)
 	}
+	f.hot = true
 	f.Packets++
 	f.Bytes += uint64(nbytes)
 	t.evictLocked(h)
@@ -175,6 +248,8 @@ func (t *Table) Restore(token any) error {
 			t.intern[ip] = f.Backend
 		}
 	}
+	t.rebuildRingLocked()
+	t.flowPool = nil // don't carry pooled storage across generations
 	return nil
 }
 
@@ -184,6 +259,9 @@ func (t *Table) Reset() {
 	defer t.mu.Unlock()
 	t.flows = make(map[uint64]*Flow)
 	t.intern = make(map[packet.IPv4]checkpoint.Rc[Backend])
+	t.ring = t.ring[:0]
+	t.hand = 0
+	t.flowPool = nil
 }
 
 // Operator adapts the table into a NetBricks stage placed after the load

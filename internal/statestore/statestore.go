@@ -68,7 +68,15 @@ type Config struct {
 	// Fsync is the durability mode for epoch and spill appends.
 	Fsync FsyncMode
 	// CompactAfter is the WAL size (bytes) past which an append triggers
-	// inline compaction into base.db. Default 8 MiB; negative disables.
+	// inline compaction into base.db. Positive fixes the threshold;
+	// negative disables compaction. Zero (the default) adapts it to the
+	// workload: autoCompactGenerations × the observed live-state size
+	// (domain count × epoch payload size, tracked as epochs land),
+	// clamped to [autoCompactMinBytes, autoCompactMaxBytes]. A fixed
+	// byte threshold compacts every couple of epochs when many domains
+	// write large tokens and near-never for one small domain; scaling by
+	// live-state size makes the cadence a constant number of whole-state
+	// generations either way.
 	CompactAfter int64
 	// FlowCompactAfter is the per-index overlay entry count past which a
 	// spill batch triggers flow-index compaction. Default 8192; negative
@@ -90,10 +98,11 @@ type epochRec struct {
 type Store struct {
 	cfg Config
 
-	mu      sync.Mutex // guards wal, walSize, epochs, compaction
-	wal     *os.File
-	walSize int64
-	epochs  map[string]epochRec
+	mu        sync.Mutex // guards wal, walSize, epochs, liveBytes, compaction
+	wal       *os.File
+	walSize   int64
+	epochs    map[string]epochRec
+	liveBytes int64 // sum of current epoch token sizes across domains
 
 	// Group commit: appended counts records written, synced the highest
 	// count known flushed. syncMu serializes the fsync itself.
@@ -134,8 +143,15 @@ const (
 	walName  = "wal.log"
 	baseName = "base.db"
 
-	defaultCompactAfter     = 8 << 20
 	defaultFlowCompactAfter = 8192
+
+	// Adaptive compaction (Config.CompactAfter == 0): compact once the
+	// WAL holds about this many generations of the whole live state. The
+	// clamp floor keeps a single tiny domain from compacting every few
+	// appends; the ceiling bounds replay time however large the state.
+	autoCompactGenerations = 64
+	autoCompactMinBytes    = 256 << 10
+	autoCompactMaxBytes    = 256 << 20
 )
 
 // ErrClosed reports an operation on a closed store.
@@ -148,9 +164,6 @@ var ErrClosed = errors.New("statestore: closed")
 func Open(cfg Config) (*Store, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("statestore: Config.Dir is required")
-	}
-	if cfg.CompactAfter == 0 {
-		cfg.CompactAfter = defaultCompactAfter
 	}
 	if cfg.FlowCompactAfter == 0 {
 		cfg.FlowCompactAfter = defaultFlowCompactAfter
@@ -221,6 +234,10 @@ func (s *Store) replayWAL() error {
 		}
 	}
 	s.walSize = int64(n)
+	s.liveBytes = 0
+	for _, rec := range s.epochs {
+		s.liveBytes += int64(len(rec.token))
+	}
 	return nil
 }
 
@@ -239,6 +256,22 @@ func (s *Store) applyEpochRecord(rec []byte) {
 		return
 	}
 	s.epochs[name] = epochRec{seq: seq, at: at, token: token}
+}
+
+// compactThresholdLocked resolves the effective WAL compaction threshold
+// for this append. Caller holds s.mu.
+func (s *Store) compactThresholdLocked() int64 {
+	if s.cfg.CompactAfter > 0 {
+		return s.cfg.CompactAfter
+	}
+	th := autoCompactGenerations * (s.liveBytes + int64(len(s.epochs))*frameHeaderSize)
+	if th < autoCompactMinBytes {
+		return autoCompactMinBytes
+	}
+	if th > autoCompactMaxBytes {
+		return autoCompactMaxBytes
+	}
+	return th
 }
 
 // Epoch payload layout (inside a frame):
@@ -316,11 +349,15 @@ func (s *Store) PersistEpoch(name string, seq uint64, payload []byte) error {
 		return fmt.Errorf("statestore: append epoch: %w", err)
 	}
 	s.walSize += int64(len(frame))
+	if cur, ok := s.epochs[name]; ok {
+		s.liveBytes -= int64(len(cur.token))
+	}
+	s.liveBytes += int64(len(payload))
 	s.epochs[name] = epochRec{seq: seq, at: at, token: append([]byte(nil), payload...)}
 	myRec := s.appended.Add(1)
 	s.persisted.Add(1)
 	s.persistBytes.Add(uint64(len(payload)))
-	needCompact := s.cfg.CompactAfter > 0 && s.walSize >= s.cfg.CompactAfter
+	needCompact := s.cfg.CompactAfter >= 0 && s.walSize >= s.compactThresholdLocked()
 	if needCompact {
 		// Compaction writes base.db through a rename barrier and then
 		// truncates the WAL, so it subsumes this record's durability.
